@@ -1,0 +1,56 @@
+// Shared harness for the distributed benches (Figs. 12, 13).
+#pragma once
+
+#include "bench_util.h"
+#include "dist/dist_engine.h"
+
+namespace ripple::bench {
+
+struct DistRunMetrics {
+  std::string engine;
+  std::size_t batch_size = 0;
+  std::size_t num_batches = 0;
+  double throughput_ups = 0;       // vs modeled total (compute + comm) time
+  double median_latency_sec = 0;
+  double compute_sec = 0;          // totals across the run
+  double comm_sec = 0;
+  std::size_t wire_bytes = 0;
+  std::size_t wire_messages = 0;
+};
+
+inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
+                                      std::span<const GraphUpdate> stream,
+                                      std::size_t batch_size,
+                                      std::size_t max_batches = 0) {
+  DistRunMetrics metrics;
+  metrics.engine = engine.name();
+  metrics.batch_size = batch_size;
+  std::vector<double> latencies;
+  for (const auto& batch : make_batches(stream, batch_size)) {
+    const DistBatchResult result = engine.apply_batch(batch);
+    latencies.push_back(result.total_sec());
+    metrics.compute_sec += result.compute_sec;
+    metrics.comm_sec += result.comm_sec;
+    metrics.wire_bytes += result.wire_bytes;
+    metrics.wire_messages += result.wire_messages;
+    ++metrics.num_batches;
+    if (max_batches != 0 && metrics.num_batches >= max_batches) break;
+  }
+  const double total = metrics.compute_sec + metrics.comm_sec;
+  const double updates = static_cast<double>(metrics.num_batches) *
+                         static_cast<double>(batch_size);
+  metrics.throughput_ups = total > 0 ? updates / total : 0;
+  metrics.median_latency_sec = latencies.empty() ? 0 : median(latencies);
+  return metrics;
+}
+
+// Builds the LDG+refine partition used by all distributed benches (the
+// METIS substitution; see DESIGN.md).
+inline Partition make_partition(const DynamicGraph& graph,
+                                std::size_t num_parts) {
+  auto partition = ldg_partition(graph, num_parts);
+  refine_partition(graph, partition, 2);
+  return partition;
+}
+
+}  // namespace ripple::bench

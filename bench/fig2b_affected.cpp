@@ -1,0 +1,69 @@
+// Fig. 2b: % of affected vertices and per-batch latency vs update batch
+// size, for recompute (RC) and Ripple, on Arxiv and Products analogues
+// (3-layer GC-S as in the paper's motivating experiment).
+//
+// Expected shape: the affected fraction grows with batch size and is far
+// larger for the denser Products graph; Ripple's latency sits well below
+// RC's at every batch size.
+#include "bench_util.h"
+
+using namespace ripple;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.has("quick");
+  const double scale = flags.get_double("scale", quick ? 0.08 : 1.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto batch_sizes = flags.get_int_list("batch-sizes", {1, 10, 100});
+  set_log_level(log_level::warn);
+
+  bench::print_header(
+      "Fig. 2b: % affected vertices + batch latency vs batch size "
+      "(3-layer GC-S, RC vs Ripple)");
+
+  for (const std::string dataset : {"arxiv-s", "products-s"}) {
+    const auto prepared = bench::prepare(dataset, scale, 4000, seed);
+    const auto& ds = prepared.dataset;
+    const std::size_t n = ds.graph.num_vertices();
+    const auto config = workload_config(Workload::gc_s, ds.spec.feat_dim,
+                                        ds.spec.num_classes, 3, 64);
+    const auto model = GnnModel::random(config, seed);
+
+    std::printf("\n-- %s (n=%zu, m=%zu, avg in-deg %.1f) --\n", dataset.c_str(),
+                n, ds.graph.num_edges(), ds.graph.avg_in_degree());
+    TextTable table({"Batch", "% affected", "RC latency (s)",
+                     "Ripple latency (s)", "Speedup"});
+    for (const auto batch_size : batch_sizes) {
+      const auto bs = static_cast<std::size_t>(batch_size);
+      const std::size_t num_batches = bench::batches_for(bs, quick ? 300 : 1200);
+      auto rc = make_engine("rc", model, ds.graph, ds.features);
+      const auto rc_run = bench::run_stream(*rc, prepared.stream, bs,
+                                            num_batches);
+      auto rp = make_engine("ripple", model, ds.graph, ds.features);
+      const auto rp_run = bench::run_stream(*rp, prepared.stream, bs,
+                                            num_batches);
+      // Affected % per the paper: unique vertices in the final hop's
+      // propagation tree relative to |V| (we report mean tree size / (L*n)
+      // normalized per hop for comparability).
+      const double affected_pct =
+          100.0 * rp_run.mean_tree_size /
+          static_cast<double>(config.num_layers) / static_cast<double>(n);
+      table.add_row(
+          {TextTable::fmt_int(batch_size), TextTable::fmt(affected_pct, 2),
+           TextTable::fmt(rc_run.median_latency_sec, 5),
+           TextTable::fmt(rp_run.median_latency_sec, 5),
+           TextTable::fmt(rp_run.median_latency_sec > 0
+                              ? rc_run.median_latency_sec /
+                                    rp_run.median_latency_sec
+                              : 0,
+                          1) +
+               "x"});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nExpected shape (paper): affected %% grows with batch size, much\n"
+      "faster on the dense Products graph (4%%->80%% at full scale) than\n"
+      "Arxiv (0.1%%->4%%); Ripple latency < RC latency throughout.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// google-benchmark microbenchmarks for the kernels on Ripple's hot paths:
+// GEMM/GEMV, neighborhood aggregation, mailbox accumulation, edge-list
+// mutation vs CSR rebuild (the DGL-emulation contrast), and the end-to-end
+// single-update apply for RC vs Ripple.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/ripple_engine.h"
+#include "gnn/aggregator.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "infer/recompute.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = Matrix::random_uniform(dim, dim, rng);
+  const auto b = Matrix::random_uniform(dim, dim, rng);
+  Matrix c;
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * dim * dim));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemvRow(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto w = Matrix::random_uniform(dim, dim, rng);
+  std::vector<float> x(dim, 0.5f);
+  std::vector<float> y(dim);
+  for (auto _ : state) {
+    gemv_row(x, w, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemvRow)->Arg(64)->Arg(128);
+
+void BM_AggregateNeighbors(benchmark::State& state) {
+  const auto degree = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto h = Matrix::random_uniform(degree + 1, 64, rng);
+  std::vector<Neighbor> nbrs;
+  for (std::size_t i = 0; i < degree; ++i) {
+    nbrs.push_back({static_cast<VertexId>(i), 1.0f});
+  }
+  std::vector<float> out(64);
+  for (auto _ : state) {
+    aggregate_neighbors(AggregatorKind::sum, nbrs, h, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(degree));
+}
+BENCHMARK(BM_AggregateNeighbors)->Arg(7)->Arg(50)->Arg(500);
+
+void BM_MailboxAccumulate(benchmark::State& state) {
+  Mailbox box(64);
+  std::vector<float> h_new(64, 1.0f);
+  std::vector<float> h_old(64, 0.5f);
+  VertexId v = 0;
+  for (auto _ : state) {
+    box.accumulate(v++ % 1024, 1.0f, h_new, h_old);
+  }
+  state.counters["entries"] = static_cast<double>(box.size());
+}
+BENCHMARK(BM_MailboxAccumulate);
+
+void BM_EdgeListMutation(benchmark::State& state) {
+  Rng rng(4);
+  auto graph = erdos_renyi(20000, 200000, rng);
+  VertexId u = 0;
+  for (auto _ : state) {
+    const auto v = static_cast<VertexId>((u * 7919 + 13) % 20000);
+    if (!graph.add_edge(u % 20000, v)) {
+      graph.remove_edge(u % 20000, v);
+    }
+    ++u;
+  }
+}
+BENCHMARK(BM_EdgeListMutation);
+
+void BM_CsrRebuild(benchmark::State& state) {
+  // The per-batch cost the DGL emulation pays on every update batch.
+  Rng rng(5);
+  const auto graph = erdos_renyi(20000, 200000, rng);
+  for (auto _ : state) {
+    auto csr = Csr::from_graph(graph);
+    benchmark::DoNotOptimize(csr.num_edges());
+  }
+}
+BENCHMARK(BM_CsrRebuild);
+
+void BM_SingleUpdate(benchmark::State& state) {
+  // End-to-end single edge toggle: RC (range=0) vs Ripple (range=1).
+  Rng rng(6);
+  auto graph = erdos_renyi(5000, 100000, rng);
+  Matrix features = Matrix::random_uniform(5000, 64, rng);
+  const auto config = workload_config(Workload::gc_s, 64, 16, 2, 64);
+  const auto model = GnnModel::random(config, 7);
+  std::unique_ptr<InferenceEngine> engine;
+  if (state.range(0) == 0) {
+    engine = std::make_unique<RecomputeEngine>(model, graph, features);
+  } else {
+    engine = std::make_unique<RippleEngine>(model, graph, features);
+  }
+  bool present = false;
+  const std::vector<GraphUpdate> add = {GraphUpdate::edge_add(1, 2)};
+  const std::vector<GraphUpdate> del = {GraphUpdate::edge_del(1, 2)};
+  for (auto _ : state) {
+    engine->apply_batch(present ? del : add);
+    present = !present;
+  }
+}
+BENCHMARK(BM_SingleUpdate)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace ripple
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Distributed streaming inference on a graph "too big for one machine" —
+// the paper's Papers scenario (§5), scaled to this host. Shows the
+// partition → bootstrap → stream → gather flow of the distributed API and
+// reports the communication advantage of Ripple over recompute.
+//
+// Run:  ./distributed_inference [--partitions=4] [--updates=1200]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/log.h"
+#include "dist/dist_engine.h"
+#include "graph/datasets.h"
+#include "stream/generator.h"
+
+using namespace ripple;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto num_parts =
+      static_cast<std::size_t>(flags.get_int("partitions", 4));
+  const auto updates = static_cast<std::size_t>(flags.get_int("updates", 1200));
+  set_log_level(log_level::warn);
+
+  std::printf("building papers-s analogue...\n");
+  auto ds = build_dataset("papers-s", 0.08, 7);
+  StreamConfig stream_config;
+  stream_config.num_updates = updates;
+  stream_config.feat_dim = ds.spec.feat_dim;
+  stream_config.seed = 8;
+  const auto stream = generate_stream(ds.graph, stream_config);
+  std::printf("snapshot: %zu vertices, %zu edges\n", ds.graph.num_vertices(),
+              ds.graph.num_edges());
+
+  // Partition with the LDG+refine pipeline (METIS stand-in).
+  auto partition = ldg_partition(ds.graph, num_parts);
+  refine_partition(ds.graph, partition, 2);
+  std::printf("partitioned into %zu parts: balance %.3f, edge cut %zu/%zu\n",
+              num_parts, partition.balance(), partition.edge_cut(ds.graph),
+              ds.graph.num_edges());
+
+  const auto config = workload_config(Workload::gc_s, ds.spec.feat_dim,
+                                      ds.spec.num_classes, 3, 64);
+  const auto model = GnnModel::random(config, 9);
+
+  for (const char* key : {"rc", "ripple"}) {
+    auto engine =
+        make_dist_engine(key, model, ds.graph, ds.features, partition);
+    double compute = 0;
+    double comm = 0;
+    std::size_t bytes = 0;
+    std::size_t batches = 0;
+    for (const auto& batch : make_batches(stream, 100)) {
+      const auto result = engine->apply_batch(batch);
+      compute += result.compute_sec;
+      comm += result.comm_sec;
+      bytes += result.wire_bytes;
+      if (++batches >= 6) break;
+    }
+    std::printf(
+        "%-10s  compute %.3fs  modeled comm %.3fs  wire %.2f MiB  "
+        "throughput %.0f up/s\n",
+        engine->name(), compute, comm,
+        static_cast<double>(bytes) / (1024.0 * 1024.0),
+        static_cast<double>(batches * 100) / (compute + comm));
+  }
+  std::printf(
+      "\nRipple ships only deltas of changed vertices across the cut; RC\n"
+      "pulls full embeddings of every in-neighbor of every affected vertex\n"
+      "— the source of the paper's ~70x communication gap (Fig. 12c).\n");
+  return 0;
+}

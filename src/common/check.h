@@ -1,0 +1,47 @@
+// Error-checking helpers. Ripple uses exceptions for recoverable errors
+// (bad arguments, malformed updates) per C++ Core Guidelines E.2.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ripple {
+
+// Thrown on any RIPPLE_CHECK failure; carries file:line and the failed
+// condition plus an optional user message.
+class check_error : public std::runtime_error {
+ public:
+  explicit check_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ripple
+
+// RIPPLE_CHECK(cond) / RIPPLE_CHECK_MSG(cond, "context " << value)
+#define RIPPLE_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ripple::detail::check_fail(#cond, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (0)
+
+#define RIPPLE_CHECK_MSG(cond, msg_expr)                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream ripple_check_os;                               \
+      ripple_check_os << msg_expr;                                      \
+      ::ripple::detail::check_fail(#cond, __FILE__, __LINE__,           \
+                                   ripple_check_os.str());              \
+    }                                                                   \
+  } while (0)

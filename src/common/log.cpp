@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ripple {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::info)};
+std::mutex g_write_mutex;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO ";
+    case log_level::warn: return "WARN ";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(log_level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+log_level get_log_level() {
+  return static_cast<log_level>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_write(log_level level, const std::string& msg) {
+  using clock = std::chrono::system_clock;
+  const auto now = clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s %lld.%03lld] %s\n", level_name(level),
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace ripple

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Single-process; thread-safe via a process-wide
+// mutex around the final write. Benches lower the level to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ripple {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+namespace detail {
+void log_write(log_level level, const std::string& msg);
+}
+
+}  // namespace ripple
+
+#define RIPPLE_LOG(level, msg_expr)                                     \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::ripple::get_log_level())) {                  \
+      std::ostringstream ripple_log_os;                                 \
+      ripple_log_os << msg_expr;                                        \
+      ::ripple::detail::log_write(level, ripple_log_os.str());          \
+    }                                                                   \
+  } while (0)
+
+#define LOG_DEBUG(msg) RIPPLE_LOG(::ripple::log_level::debug, msg)
+#define LOG_INFO(msg) RIPPLE_LOG(::ripple::log_level::info, msg)
+#define LOG_WARN(msg) RIPPLE_LOG(::ripple::log_level::warn, msg)
+#define LOG_ERROR(msg) RIPPLE_LOG(::ripple::log_level::error, msg)

@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace ripple {
+
+std::vector<std::uint32_t> Rng::sample_indices(std::uint32_t n,
+                                               std::uint32_t k) {
+  RIPPLE_CHECK_MSG(k <= n, "cannot sample " << k << " distinct from " << n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 < n) {
+    // Floyd's algorithm: O(k) expected draws.
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(k * 2);
+    for (std::uint32_t j = n - k; j < n; ++j) {
+      const auto t = static_cast<std::uint32_t>(next_below(j + 1));
+      if (seen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        seen.insert(j);
+        out.push_back(j);
+      }
+    }
+  } else {
+    std::vector<std::uint32_t> all(n);
+    for (std::uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j =
+          i + static_cast<std::uint32_t>(next_below(n - i));
+      std::swap(all[i], all[j]);
+    }
+    out.assign(all.begin(), all.begin() + k);
+  }
+  return out;
+}
+
+}  // namespace ripple

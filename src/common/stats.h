@@ -1,0 +1,45 @@
+// Descriptive statistics over latency samples (median/percentiles), used by
+// the bench harnesses to report the paper's "median batch latency" metric.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ripple {
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+// p in [0, 1]; linear interpolation between order statistics.
+inline double percentile(std::vector<double> xs, double p) {
+  RIPPLE_CHECK(!xs.empty());
+  RIPPLE_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+inline double median(const std::vector<double>& xs) {
+  return percentile(xs, 0.5);
+}
+
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace ripple

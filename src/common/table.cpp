@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ripple {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RIPPLE_CHECK_MSG(row.size() == header_.size(),
+                   "row width " << row.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string TextTable::fmt_int(long long value) {
+  return std::to_string(value);
+}
+
+std::string TextTable::fmt_si(double value, int precision) {
+  const char* suffix = "";
+  double v = value;
+  if (std::abs(v) >= 1e9) { v /= 1e9; suffix = "G"; }
+  else if (std::abs(v) >= 1e6) { v /= 1e6; suffix = "M"; }
+  else if (std::abs(v) >= 1e3) { v /= 1e3; suffix = "k"; }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v << suffix;
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print() const { std::printf("%s", to_string().c_str()); }
+
+}  // namespace ripple

@@ -1,0 +1,30 @@
+// Aligned plain-text table printer so the benches emit the same rows and
+// series the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience for mixed cells.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+  static std::string fmt_si(double value, int precision = 1);  // 1.2k, 3.4M
+
+  // Render with column alignment; includes the header and a rule.
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,53 @@
+// Small fixed-size thread pool with a parallel_for helper.
+// Used by the tensor kernels and batch engines; sized to hardware
+// concurrency by default.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ripple {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; wait_all() blocks until every enqueued task finished.
+  void submit(std::function<void()> task);
+  void wait_all();
+
+  // Splits [begin, end) into roughly equal contiguous chunks, runs
+  // body(chunk_begin, chunk_end) across the pool, and blocks until done.
+  // Falls back to inline execution for tiny ranges or a 1-thread pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_chunk = 256);
+
+  // Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ripple

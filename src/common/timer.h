@@ -1,0 +1,71 @@
+// Wall-clock timing utilities used by the engines and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ripple {
+
+// One-shot stopwatch: starts on construction (or restart()).
+class StopWatch {
+ public:
+  StopWatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulating timer: sums many timed intervals (e.g. the "update" phase
+// across all batches of a run, as in Fig. 8's stacked bars).
+class Timer {
+ public:
+  void start() { watch_.restart(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_sec_ += watch_.elapsed_sec();
+      ++count_;
+      running_ = false;
+    }
+  }
+
+  void reset() {
+    total_sec_ = 0;
+    count_ = 0;
+    running_ = false;
+  }
+
+  double total_sec() const { return total_sec_; }
+  double total_ms() const { return total_sec_ * 1e3; }
+  std::uint64_t count() const { return count_; }
+  double mean_sec() const { return count_ == 0 ? 0.0 : total_sec_ / count_; }
+
+ private:
+  StopWatch watch_;
+  double total_sec_ = 0;
+  std::uint64_t count_ = 0;
+  bool running_ = false;
+};
+
+// RAII guard that stops the timer when the scope exits.
+class TimerScope {
+ public:
+  explicit TimerScope(Timer& timer) : timer_(timer) { timer_.start(); }
+  ~TimerScope() { timer_.stop(); }
+  TimerScope(const TimerScope&) = delete;
+  TimerScope& operator=(const TimerScope&) = delete;
+
+ private:
+  Timer& timer_;
+};
+
+}  // namespace ripple

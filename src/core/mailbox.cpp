@@ -1,0 +1,40 @@
+#include "core/mailbox.h"
+
+#include "common/check.h"
+
+namespace ripple {
+
+Mailbox::Entry& Mailbox::entry(VertexId v) {
+  Entry& e = entries_[v];
+  if (e.delta_agg.empty()) e.delta_agg.assign(dim_, 0.0f);
+  return e;
+}
+
+void Mailbox::accumulate(VertexId v, float alpha,
+                         std::span<const float> h_new,
+                         std::span<const float> h_old) {
+  Entry& e = entry(v);
+  e.touched_agg = true;
+  if (!h_new.empty()) {
+    RIPPLE_CHECK(h_new.size() == dim_);
+    vec_axpy(e.delta_agg, alpha, h_new);
+  }
+  if (!h_old.empty()) {
+    RIPPLE_CHECK(h_old.size() == dim_);
+    vec_axpy(e.delta_agg, -alpha, h_old);
+  }
+}
+
+void Mailbox::mark_self_changed(VertexId v) {
+  entry(v).self_changed = true;
+}
+
+std::size_t Mailbox::bytes() const {
+  std::size_t total = entries_.size() * (sizeof(VertexId) + sizeof(Entry));
+  for (const auto& [v, e] : entries_) {
+    total += e.delta_agg.capacity() * sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace ripple

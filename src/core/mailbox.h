@@ -1,0 +1,61 @@
+// Per-hop mailboxes (§4.3): each vertex accumulates incremental messages
+// from its impacted in-neighbors at the previous hop.
+//
+// A message carries the delta needed to nullify a sender's old contribution
+// and include its new one: Δagg = Σ α(u,v)·(h_u_new − h_u_old). Because the
+// aggregation functions are commutative, messages accumulate in any order
+// (tested by the batch-order invariance property tests). The self channel
+// flags that the vertex's own previous-layer embedding changed, which forces
+// re-evaluation of Update functions with a self term (SAGE, GIN) even when
+// no in-neighbor message arrived.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+
+class Mailbox {
+ public:
+  struct Entry {
+    std::vector<float> delta_agg;  // Σ of incoming Δ contributions
+    float delta_weight = 0.0f;     // Σ of α deltas (reserved for extensions)
+    bool touched_agg = false;      // any aggregate-changing message arrived
+    bool self_changed = false;     // own h^{l-1} changed (self channel)
+  };
+
+  // dim: width of the previous-layer embeddings this hop aggregates.
+  explicit Mailbox(std::size_t dim) : dim_(dim) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Accumulates alpha * (h_new - h_old) into v's entry. h_old may be empty
+  // (edge addition: no prior contribution); h_new may be empty (deletion).
+  void accumulate(VertexId v, float alpha, std::span<const float> h_new,
+                  std::span<const float> h_old);
+
+  // Marks the self channel without touching the aggregate.
+  void mark_self_changed(VertexId v);
+
+  Entry& entry(VertexId v);
+  const std::unordered_map<VertexId, Entry>& entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+  std::size_t bytes() const;
+
+ private:
+  std::size_t dim_;
+  std::unordered_map<VertexId, Entry> entries_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,202 @@
+#include "core/ripple_engine.h"
+
+#include "common/timer.h"
+#include "infer/layerwise.h"
+
+namespace ripple {
+
+RippleEngine::RippleEngine(const GnnModel& model, DynamicGraph snapshot,
+                           const Matrix& features, ThreadPool* pool,
+                           RippleOptions options)
+    : model_(model), graph_(std::move(snapshot)),
+      store_(model.config(), graph_.num_vertices()), pool_(pool),
+      options_(options) {
+  RIPPLE_CHECK_MSG(is_linear(model_.config().aggregator),
+                   "Ripple requires a linear aggregation function (sum, "
+                   "mean, weighted_sum); got "
+                       << aggregator_name(model_.config().aggregator));
+  RIPPLE_CHECK(features.rows() == graph_.num_vertices());
+  const std::size_t num_layers = model_.num_layers();
+  agg_cache_.reserve(num_layers);
+  mailboxes_.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const std::size_t dim = model_.config().layer_in_dim(l);
+    agg_cache_.emplace_back(graph_.num_vertices(), dim);
+    mailboxes_.emplace_back(dim);
+  }
+  bootstrap(features);
+}
+
+float RippleEngine::edge_alpha(EdgeWeight weight) const {
+  return model_.config().aggregator == AggregatorKind::weighted_sum
+             ? weight
+             : 1.0f;
+}
+
+void RippleEngine::bootstrap(const Matrix& features) {
+  store_.features() = features;
+  // Caches hold raw (weighted) sums; mean's 1/deg normalization happens at
+  // evaluation so degree changes never invalidate the cache.
+  const AggregatorKind cache_kind =
+      model_.config().aggregator == AggregatorKind::weighted_sum
+          ? AggregatorKind::weighted_sum
+          : AggregatorKind::sum;
+  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
+  Matrix x_actual;
+  for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+    aggregate_all(cache_kind, graph_, store_.layer(l), agg_cache_[l]);
+    const Matrix* x = &agg_cache_[l];
+    if (is_mean) {
+      x_actual = agg_cache_[l];
+      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+        const auto deg = graph_.in_degree(v);
+        if (deg > 0) vec_scale(x_actual.row(v), 1.0f / static_cast<float>(deg));
+      }
+      x = &x_actual;
+    }
+    model_.layer(l).update_matrix(store_.layer(l), *x, store_.layer(l + 1),
+                                  pool_);
+    model_.apply_activation_matrix(l, store_.layer(l + 1));
+  }
+}
+
+void RippleEngine::seed_edge_messages(VertexId u, VertexId v,
+                                      EdgeWeight weight, bool is_add) {
+  // An edge (u, v) contributes α·h^{l-1}_u to S^l_v at EVERY layer l. At
+  // seeding time all embeddings still hold their pre-batch values, which is
+  // exactly the contribution present in (deletion) or absent from
+  // (addition) the sink's caches. If u's h^{l-1} changes later this batch,
+  // u's hop-(l-1) compute phase sends the correction over the live topology.
+  const float alpha = edge_alpha(weight);
+  for (std::size_t l = 1; l <= model_.num_layers(); ++l) {
+    const auto h_u = store_.layer(l - 1).row(u);
+    if (is_add) {
+      mailboxes_[l - 1].accumulate(v, alpha, h_u, {});
+    } else {
+      mailboxes_[l - 1].accumulate(v, alpha, {}, h_u);
+    }
+    incremental_ops_ += 1;
+  }
+}
+
+void RippleEngine::apply_feature_update(const GraphUpdate& update) {
+  RIPPLE_CHECK_MSG(update.new_features.size() == store_.features().cols(),
+                   "feature width mismatch");
+  const VertexId u = update.u;
+  // Send α·(x_new − x_old) to out-neighbors' hop-1 mailboxes, then commit.
+  const auto old_row = store_.features().row(u);
+  for (const Neighbor& nb : graph_.out_neighbors(u)) {
+    mailboxes_[0].accumulate(nb.vertex, edge_alpha(nb.weight),
+                             update.new_features, old_row);
+    incremental_ops_ += 1;
+  }
+  if (model_.layer(0).uses_self()) {
+    mailboxes_[0].mark_self_changed(u);
+  }
+  vec_copy(update.new_features, store_.features().row(u));
+}
+
+void RippleEngine::update(UpdateBatch batch) {
+  for (const GraphUpdate& u : batch) {
+    switch (u.kind) {
+      case UpdateKind::edge_add:
+        // Topology first: the compute phases must see the new edge.
+        if (graph_.add_edge(u.u, u.v, u.weight)) {
+          seed_edge_messages(u.u, u.v, u.weight, /*is_add=*/true);
+        }
+        break;
+      case UpdateKind::edge_del: {
+        if (!graph_.has_edge(u.u, u.v)) break;
+        const EdgeWeight old_weight = graph_.edge_weight(u.u, u.v);
+        RIPPLE_CHECK(graph_.remove_edge(u.u, u.v));
+        seed_edge_messages(u.u, u.v, old_weight, /*is_add=*/false);
+        break;
+      }
+      case UpdateKind::vertex_feature:
+        apply_feature_update(u);
+        break;
+    }
+  }
+}
+
+BatchResult RippleEngine::propagate() {
+  BatchResult result;
+  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
+  const std::size_t num_layers = model_.num_layers();
+  for (std::size_t l = 1; l <= num_layers; ++l) {
+    Mailbox& mailbox = mailboxes_[l - 1];
+    result.propagation_tree_size += mailbox.size();
+    if (l == num_layers) result.affected_final = mailbox.size();
+    Matrix& cache = agg_cache_[l - 1];
+    const Matrix& h_prev = store_.layer(l - 1);
+    Matrix& h_out = store_.layer(l);
+    const std::size_t out_dim = model_.config().layer_out_dim(l - 1);
+    x_scratch_.resize(model_.config().layer_in_dim(l - 1));
+    old_h_scratch_.resize(out_dim);
+    delta_scratch_.resize(out_dim);
+
+    for (const auto& [v, entry] : mailbox.entries()) {
+      // ---- apply phase ----
+      auto cache_row = cache.row(v);
+      if (entry.touched_agg) {
+        vec_add(cache_row, entry.delta_agg);
+        incremental_ops_ += 1;
+      }
+      vec_copy(cache_row, x_scratch_);
+      if (is_mean) {
+        const auto deg = graph_.in_degree(v);
+        if (deg > 0) {
+          vec_scale(x_scratch_, 1.0f / static_cast<float>(deg));
+        } else {
+          vec_fill(x_scratch_, 0.0f);
+        }
+      }
+      auto h_row = h_out.row(v);
+      vec_copy(h_row, old_h_scratch_);
+      model_.layer(l - 1).update_row(h_prev.row(v), x_scratch_, h_row);
+      model_.apply_activation_row(l - 1, h_row);
+
+      // ---- compute phase ----
+      if (l == num_layers) continue;  // final hop: nothing downstream
+      vec_copy(h_row, delta_scratch_);
+      vec_sub(delta_scratch_, old_h_scratch_);
+      if (options_.prune_unchanged) {
+        float linf = 0;
+        for (float d : delta_scratch_) linf = std::max(linf, std::abs(d));
+        if (linf <= options_.prune_tolerance) continue;
+      }
+      Mailbox& next = mailboxes_[l];
+      for (const Neighbor& nb : graph_.out_neighbors(v)) {
+        next.accumulate(nb.vertex, edge_alpha(nb.weight), delta_scratch_, {});
+        incremental_ops_ += 1;
+      }
+      if (model_.layer(l).uses_self()) {
+        next.mark_self_changed(v);
+      }
+    }
+    mailbox.clear();
+  }
+  return result;
+}
+
+BatchResult RippleEngine::apply_batch(UpdateBatch batch) {
+  StopWatch update_watch;
+  update(batch);
+  const double update_sec = update_watch.elapsed_sec();
+
+  StopWatch propagate_watch;
+  BatchResult result = propagate();
+  result.propagate_sec = propagate_watch.elapsed_sec();
+  result.update_sec = update_sec;
+  result.batch_size = batch.size();
+  return result;
+}
+
+std::size_t RippleEngine::memory_bytes() const {
+  std::size_t total = store_.bytes() + graph_.bytes();
+  for (const auto& cache : agg_cache_) total += cache.bytes();
+  for (const auto& mailbox : mailboxes_) total += mailbox.bytes();
+  return total;
+}
+
+}  // namespace ripple

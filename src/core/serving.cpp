@@ -1,0 +1,57 @@
+#include "core/serving.h"
+
+#include "common/timer.h"
+
+namespace ripple {
+
+StreamingServer::StreamingServer(std::unique_ptr<InferenceEngine> engine,
+                                 Options options)
+    : engine_(std::move(engine)), options_(options),
+      batcher_(options.adaptive_options) {
+  RIPPLE_CHECK(engine_ != nullptr);
+  RIPPLE_CHECK(options_.batch_size >= 1);
+  const std::size_t n = engine_->graph().num_vertices();
+  labels_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels_[v] = engine_->embeddings().predicted_label(v);
+  }
+}
+
+std::size_t StreamingServer::submit(GraphUpdate update) {
+  pending_.push_back(std::move(update));
+  const std::size_t threshold =
+      options_.adaptive ? batcher_.next_batch_size() : options_.batch_size;
+  if (pending_.size() >= threshold) return flush();
+  return 0;
+}
+
+std::size_t StreamingServer::flush() {
+  if (pending_.empty()) return 0;
+  StopWatch watch;
+  const BatchResult result = engine_->apply_batch(pending_);
+  const double latency = watch.elapsed_sec();
+  if (options_.adaptive) {
+    batcher_.record(pending_.size(), latency);
+  }
+  stats_.updates_processed += pending_.size();
+  ++stats_.batches_processed;
+  stats_.total_sec += result.total_sec();
+  const std::size_t applied = pending_.size();
+  pending_.clear();
+  refresh_labels_and_notify();
+  return applied;
+}
+
+void StreamingServer::refresh_labels_and_notify() {
+  const std::size_t n = engine_->graph().num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t fresh = engine_->embeddings().predicted_label(v);
+    if (fresh != labels_[v]) {
+      ++stats_.label_changes;
+      if (callback_) callback_(v, labels_[v], fresh);
+      labels_[v] = fresh;
+    }
+  }
+}
+
+}  // namespace ripple

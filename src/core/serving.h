@@ -1,0 +1,74 @@
+// Trigger-based serving facade (§2.2): wraps an inference engine behind the
+// interface a streaming application actually wants — submit updates, get
+// notified when predicted labels flip, look labels up at any time.
+//
+// The paper's target applications (fraud alerts, congestion prediction) are
+// trigger-based: they must learn about prediction changes immediately after
+// the updates that caused them. StreamingServer batches submitted updates
+// (fixed size or AdaptiveBatcher-driven), applies them through the engine,
+// diffs the predicted labels of vertices in the final-hop affected region,
+// and invokes the registered callback for every flip.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "infer/engine.h"
+#include "stream/adaptive_batcher.h"
+
+namespace ripple {
+
+class StreamingServer {
+ public:
+  struct Options {
+    std::size_t batch_size = 100;   // fixed batching (adaptive off)
+    bool adaptive = false;          // use AdaptiveBatcher instead
+    AdaptiveBatcher::Options adaptive_options = {};
+  };
+
+  // (vertex, old label, new label), fired after the causing batch applies.
+  using LabelChangeCallback =
+      std::function<void(VertexId, std::uint32_t, std::uint32_t)>;
+
+  StreamingServer(std::unique_ptr<InferenceEngine> engine, Options options);
+
+  void set_label_callback(LabelChangeCallback callback) {
+    callback_ = std::move(callback);
+  }
+
+  // Enqueue one update; flushes automatically when the batch is full.
+  // Returns the number of updates applied (0 if still buffering).
+  std::size_t submit(GraphUpdate update);
+
+  // Apply whatever is pending immediately.
+  std::size_t flush();
+
+  // Request-based lookup (always serves the current exact prediction).
+  std::uint32_t label(VertexId v) const {
+    return engine_->embeddings().predicted_label(v);
+  }
+
+  const InferenceEngine& engine() const { return *engine_; }
+
+  struct Stats {
+    std::size_t updates_processed = 0;
+    std::size_t batches_processed = 0;
+    std::size_t label_changes = 0;
+    double total_sec = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void refresh_labels_and_notify();
+
+  std::unique_ptr<InferenceEngine> engine_;
+  Options options_;
+  AdaptiveBatcher batcher_;
+  std::vector<GraphUpdate> pending_;
+  std::vector<std::uint32_t> labels_;
+  LabelChangeCallback callback_;
+  Stats stats_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,50 @@
+#include "device/accelerator.h"
+
+namespace ripple {
+
+namespace {
+
+double avg_embedding_dim(const ModelConfig& config) {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l <= config.num_layers; ++l) {
+    total += config.embedding_dim(l);
+  }
+  return static_cast<double>(total) / static_cast<double>(config.num_layers + 1);
+}
+
+}  // namespace
+
+double model_layerwise_accel_sec(const AcceleratorModel& accel,
+                                 const BatchResult& cpu_result,
+                                 const ModelConfig& config) {
+  const double kernels_per_hop = 3.0;  // aggregate, update GEMM, activation
+  const double num_kernels =
+      kernels_per_hop * static_cast<double>(config.num_layers);
+  // Frontier embeddings cross the bus twice (gather in, result out).
+  const double bytes =
+      2.0 * static_cast<double>(cpu_result.propagation_tree_size) *
+      avg_embedding_dim(config) * sizeof(float);
+  const double compute = cpu_result.propagate_sec / accel.compute_speedup;
+  const double launches = num_kernels * accel.kernel_launch_sec;
+  const double transfers = 2.0 * static_cast<double>(config.num_layers) *
+                               accel.transfer_latency_sec +
+                           bytes / accel.transfer_bytes_per_sec;
+  return compute + launches + transfers;
+}
+
+double model_vertexwise_accel_sec(const AcceleratorModel& accel,
+                                  const BatchResult& cpu_result,
+                                  const ModelConfig& config) {
+  // Each materialized tree node runs its own aggregate + update kernels.
+  const double num_kernels =
+      2.0 * static_cast<double>(cpu_result.propagation_tree_size);
+  const double bytes =
+      2.0 * static_cast<double>(cpu_result.propagation_tree_size) *
+      avg_embedding_dim(config) * sizeof(float);
+  const double compute = cpu_result.propagate_sec / accel.compute_speedup;
+  return compute + num_kernels * accel.kernel_launch_sec +
+         2.0 * accel.transfer_latency_sec +
+         bytes / accel.transfer_bytes_per_sec;
+}
+
+}  // namespace ripple

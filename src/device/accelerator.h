@@ -1,0 +1,46 @@
+// Simulated accelerator cost model — the substitution for the paper's
+// RTX 4090 in Fig. 8 (DNG/DRG variants).
+//
+// The paper's finding is that GPU execution barely helps layer-wise
+// streaming inference (≈5% faster on Arxiv, ≈6% *slower* on Products):
+// per-batch kernels are tiny, so launch overhead and host↔device transfers
+// swamp the compute speedup. This model reproduces that crossover from
+// first principles: the CPU-measured propagate time is divided by the
+// device's raw speedup, then per-kernel launch overhead and PCIe-style
+// transfer costs are added back using the batch's affected-set sizes.
+#pragma once
+
+#include <cstddef>
+
+#include "gnn/model.h"
+#include "infer/engine.h"
+
+namespace ripple {
+
+struct AcceleratorModel {
+  double kernel_launch_sec = 12e-6;      // CUDA-launch-scale overhead
+  double transfer_latency_sec = 10e-6;   // per host<->device copy
+  double transfer_bytes_per_sec = 12e9;  // effective PCIe bandwidth
+  // Effective speedup of the device over the paper's 16-core Xeon baseline
+  // for layer-wise GNN kernels. These kernels are sparse-gather/memory-bound
+  // rather than GEMM-bound at streaming batch sizes, which is why the paper
+  // measures the RTX 4090 within ±6% of the CPU — the honest modeled
+  // advantage is marginal, not the dense-GEMM 10-50x.
+  double compute_speedup = 1.25;
+};
+
+// Modeled device-side propagate time for the layer-wise recompute engine
+// (DRG): per hop, one aggregation kernel + one update GEMM + one activation
+// kernel, plus transferring the frontier blocks and embeddings.
+double model_layerwise_accel_sec(const AcceleratorModel& accel,
+                                 const BatchResult& cpu_result,
+                                 const ModelConfig& config);
+
+// Modeled device-side propagate time for vertex-wise inference (DNG): every
+// vertex in every target's computation tree issues its own small
+// aggregate+update kernel pair.
+double model_vertexwise_accel_sec(const AcceleratorModel& accel,
+                                  const BatchResult& cpu_result,
+                                  const ModelConfig& config);
+
+}  // namespace ripple

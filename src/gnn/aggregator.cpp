@@ -1,0 +1,69 @@
+#include "gnn/aggregator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+const char* aggregator_name(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::sum: return "sum";
+    case AggregatorKind::mean: return "mean";
+    case AggregatorKind::weighted_sum: return "weighted_sum";
+    case AggregatorKind::max: return "max";
+    case AggregatorKind::min: return "min";
+  }
+  return "?";
+}
+
+AggregatorKind aggregator_from_name(const std::string& name) {
+  if (name == "sum") return AggregatorKind::sum;
+  if (name == "mean") return AggregatorKind::mean;
+  if (name == "weighted_sum") return AggregatorKind::weighted_sum;
+  if (name == "max") return AggregatorKind::max;
+  if (name == "min") return AggregatorKind::min;
+  RIPPLE_CHECK_MSG(false, "unknown aggregator '" << name << '\'');
+  throw check_error("unreachable");
+}
+
+bool is_linear(AggregatorKind kind) {
+  return kind == AggregatorKind::sum || kind == AggregatorKind::mean ||
+         kind == AggregatorKind::weighted_sum;
+}
+
+void aggregate_neighbors(AggregatorKind kind,
+                         std::span<const Neighbor> in_nbrs,
+                         const Matrix& h_prev, std::span<float> out) {
+  const std::size_t d = out.size();
+  RIPPLE_CHECK(h_prev.cols() == d);
+  if (kind == AggregatorKind::max || kind == AggregatorKind::min) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    bool first = true;
+    for (const Neighbor& nb : in_nbrs) {
+      const auto row = h_prev.row(nb.vertex);
+      if (first) {
+        std::copy(row.begin(), row.end(), out.begin());
+        first = false;
+      } else if (kind == AggregatorKind::max) {
+        for (std::size_t j = 0; j < d; ++j) out[j] = std::max(out[j], row[j]);
+      } else {
+        for (std::size_t j = 0; j < d; ++j) out[j] = std::min(out[j], row[j]);
+      }
+    }
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const Neighbor& nb : in_nbrs) {
+    const float alpha = edge_coefficient(kind, nb);
+    const float* row = h_prev.data() + static_cast<std::size_t>(nb.vertex) *
+                                           h_prev.cols();
+    for (std::size_t j = 0; j < d; ++j) out[j] += alpha * row[j];
+  }
+  if (kind == AggregatorKind::mean && !in_nbrs.empty()) {
+    const float inv = 1.0f / static_cast<float>(in_nbrs.size());
+    for (auto& v : out) v *= inv;
+  }
+}
+
+}  // namespace ripple

@@ -1,0 +1,76 @@
+// Neighborhood aggregation functions (paper Table 1).
+//
+// Ripple's incremental model requires *linear* aggregators (sum, mean,
+// weighted-sum): a neighbor's contribution enters the aggregate as
+// α(u,v) · h_u, so it can be retracted with a subtraction. max/min are
+// provided for the full-recompute engines only (they are the domain of
+// InkStream, contrasted in §3) and are rejected by the incremental engine.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/types.h"
+#include "tensor/matrix.h"
+
+namespace ripple {
+
+enum class AggregatorKind { sum, mean, weighted_sum, max, min };
+
+const char* aggregator_name(AggregatorKind kind);
+AggregatorKind aggregator_from_name(const std::string& name);
+
+// True for sum / mean / weighted_sum — the class Ripple supports.
+bool is_linear(AggregatorKind kind);
+
+// Per-edge contribution coefficient α(u,v). For mean this is 1 (the 1/deg
+// normalization is applied at the receiver, which tracks its in-degree).
+inline float edge_coefficient(AggregatorKind kind, const Neighbor& nb) {
+  return kind == AggregatorKind::weighted_sum ? nb.weight : 1.0f;
+}
+
+// out = Aggregate({h_prev[u] : u in in_nbrs}). Zero in-degree yields zeros.
+void aggregate_neighbors(AggregatorKind kind,
+                         std::span<const Neighbor> in_nbrs,
+                         const Matrix& h_prev, std::span<float> out);
+
+// X_agg[v] = Aggregate over in-neighbors for every vertex (layer-wise full
+// pass). GraphT must expose num_vertices() and in_neighbors(v).
+template <typename GraphT>
+void aggregate_all(AggregatorKind kind, const GraphT& graph,
+                   const Matrix& h_prev, Matrix& x_agg) {
+  const std::size_t n = graph.num_vertices();
+  if (x_agg.rows() != n || x_agg.cols() != h_prev.cols()) {
+    x_agg.resize(n, h_prev.cols());
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    aggregate_neighbors(kind, graph.in_neighbors(v), h_prev, x_agg.row(v));
+  }
+}
+
+// Reverse-mode aggregation for training: grad_h[u] += α(u,v) · grad_x[v]
+// for every edge (u, v); for mean, α is scaled by 1/in_degree(v).
+// GraphT must expose num_vertices(), in_neighbors(v) and in_degree(v).
+template <typename GraphT>
+void aggregate_all_transpose(AggregatorKind kind, const GraphT& graph,
+                             const Matrix& grad_x, Matrix& grad_h_accum) {
+  const std::size_t n = graph.num_vertices();
+  RIPPLE_CHECK(grad_x.rows() == n && grad_h_accum.rows() == n);
+  RIPPLE_CHECK(grad_x.cols() == grad_h_accum.cols());
+  const std::size_t d = grad_x.cols();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = graph.in_neighbors(v);
+    if (nbrs.empty()) continue;
+    const float norm = (kind == AggregatorKind::mean)
+                           ? 1.0f / static_cast<float>(nbrs.size())
+                           : 1.0f;
+    const float* gx = grad_x.data() + static_cast<std::size_t>(v) * d;
+    for (const Neighbor& nb : nbrs) {
+      const float alpha = edge_coefficient(kind, nb) * norm;
+      float* gh = grad_h_accum.data() + static_cast<std::size_t>(nb.vertex) * d;
+      for (std::size_t j = 0; j < d; ++j) gh[j] += alpha * gx[j];
+    }
+  }
+}
+
+}  // namespace ripple

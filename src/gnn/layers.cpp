@@ -1,0 +1,133 @@
+#include "gnn/layers.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::graph_conv: return "graph_conv";
+    case LayerKind::sage: return "sage";
+    case LayerKind::gin: return "gin";
+  }
+  return "?";
+}
+
+GnnLayer::GnnLayer(LayerKind kind, Params params, std::size_t in_dim,
+                   std::size_t out_dim)
+    : kind_(kind), params_(std::move(params)), in_dim_(in_dim),
+      out_dim_(out_dim) {}
+
+GnnLayer GnnLayer::random(LayerKind kind, std::size_t in_dim,
+                          std::size_t out_dim, Rng& rng,
+                          std::size_t gin_mlp_hidden) {
+  switch (kind) {
+    case LayerKind::graph_conv: {
+      GraphConvParams p{.weight = Matrix::xavier(in_dim, out_dim, rng),
+                        .bias = Matrix(1, out_dim)};
+      return GnnLayer(kind, std::move(p), in_dim, out_dim);
+    }
+    case LayerKind::sage: {
+      SageParams p{.w_self = Matrix::xavier(in_dim, out_dim, rng),
+                   .w_neigh = Matrix::xavier(in_dim, out_dim, rng),
+                   .bias = Matrix(1, out_dim)};
+      return GnnLayer(kind, std::move(p), in_dim, out_dim);
+    }
+    case LayerKind::gin: {
+      const std::size_t hidden =
+          gin_mlp_hidden == 0 ? out_dim : gin_mlp_hidden;
+      GinParams p{.eps = 0.0f,
+                  .w1 = Matrix::xavier(in_dim, hidden, rng),
+                  .b1 = Matrix(1, hidden),
+                  .w2 = Matrix::xavier(hidden, out_dim, rng),
+                  .b2 = Matrix(1, out_dim)};
+      return GnnLayer(kind, std::move(p), in_dim, out_dim);
+    }
+  }
+  throw check_error("unreachable layer kind");
+}
+
+void GnnLayer::update_row(std::span<const float> h_self,
+                          std::span<const float> x_agg,
+                          std::span<float> out) const {
+  RIPPLE_CHECK(x_agg.size() == in_dim_ && out.size() == out_dim_);
+  if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
+    vec_copy(gc->bias.row(0), out);
+    gemv_row_accum(x_agg, gc->weight, out);
+    return;
+  }
+  RIPPLE_CHECK(h_self.size() == in_dim_);
+  if (const auto* sage = std::get_if<SageParams>(&params_)) {
+    vec_copy(sage->bias.row(0), out);
+    gemv_row_accum(h_self, sage->w_self, out);
+    gemv_row_accum(x_agg, sage->w_neigh, out);
+    return;
+  }
+  const auto& gin = std::get<GinParams>(params_);
+  // z = (1 + eps) * h_self + x_agg
+  std::vector<float> z(in_dim_);
+  for (std::size_t j = 0; j < in_dim_; ++j) {
+    z[j] = (1.0f + gin.eps) * h_self[j] + x_agg[j];
+  }
+  std::vector<float> q(gin.w1.cols());
+  vec_copy(gin.b1.row(0), q);
+  gemv_row_accum(z, gin.w1, q);
+  relu_row(q);
+  vec_copy(gin.b2.row(0), out);
+  gemv_row_accum(q, gin.w2, out);
+}
+
+void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
+                             Matrix& h_out, ThreadPool* pool) const {
+  RIPPLE_CHECK(x_agg.cols() == in_dim_);
+  if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
+    gemm(x_agg, gc->weight, h_out, pool);
+    add_bias_rows(h_out, gc->bias);
+    return;
+  }
+  RIPPLE_CHECK(h_prev.cols() == in_dim_ && h_prev.rows() == x_agg.rows());
+  if (const auto* sage = std::get_if<SageParams>(&params_)) {
+    gemm(h_prev, sage->w_self, h_out, pool);
+    Matrix neigh_part;
+    gemm(x_agg, sage->w_neigh, neigh_part, pool);
+    for (std::size_t r = 0; r < h_out.rows(); ++r) {
+      vec_add(h_out.row(r), neigh_part.row(r));
+    }
+    add_bias_rows(h_out, sage->bias);
+    return;
+  }
+  const auto& gin = std::get<GinParams>(params_);
+  Matrix z(h_prev.rows(), in_dim_);
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    auto zr = z.row(r);
+    const auto hr = h_prev.row(r);
+    const auto xr = x_agg.row(r);
+    for (std::size_t j = 0; j < in_dim_; ++j) {
+      zr[j] = (1.0f + gin.eps) * hr[j] + xr[j];
+    }
+  }
+  Matrix q;
+  gemm(z, gin.w1, q, pool);
+  add_bias_rows(q, gin.b1);
+  relu_inplace(q);
+  gemm(q, gin.w2, h_out, pool);
+  add_bias_rows(h_out, gin.b2);
+}
+
+std::size_t GnnLayer::num_parameters() const {
+  if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
+    return gc->weight.size() + gc->bias.size();
+  }
+  if (const auto* sage = std::get_if<SageParams>(&params_)) {
+    return sage->w_self.size() + sage->w_neigh.size() + sage->bias.size();
+  }
+  const auto& gin = std::get<GinParams>(params_);
+  return gin.w1.size() + gin.b1.size() + gin.w2.size() + gin.b2.size() + 1;
+}
+
+}  // namespace ripple

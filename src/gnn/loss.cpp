@@ -1,0 +1,81 @@
+#include "gnn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::uint32_t>& labels,
+                             const std::vector<std::uint8_t>& mask,
+                             Matrix* grad) {
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  RIPPLE_CHECK(labels.size() == n && mask.size() == n);
+  if (grad != nullptr) {
+    grad->resize(n, c);
+  }
+  double total_loss = 0;
+  std::size_t count = 0;
+  std::vector<float> probs(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] == 0) continue;
+    const auto row = logits.row(i);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float denom = 0;
+    for (std::size_t j = 0; j < c; ++j) {
+      probs[j] = std::exp(row[j] - mx);
+      denom += probs[j];
+    }
+    const float inv = 1.0f / denom;
+    for (auto& p : probs) p *= inv;
+    const std::uint32_t y = labels[i];
+    RIPPLE_CHECK_MSG(y < c, "label " << y << " out of range " << c);
+    total_loss += -std::log(std::max(probs[y], 1e-12f));
+    ++count;
+    if (grad != nullptr) {
+      auto grow = grad->row(i);
+      for (std::size_t j = 0; j < c; ++j) grow[j] = probs[j];
+      grow[y] -= 1.0f;
+    }
+  }
+  if (count == 0) return 0;
+  if (grad != nullptr) {
+    // Mean reduction: scale all gradient rows by 1/count.
+    const float scale = 1.0f / static_cast<float>(count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask[i] != 0) vec_scale(grad->row(i), scale);
+    }
+  }
+  return total_loss / static_cast<double>(count);
+}
+
+double accuracy(const Matrix& logits, const std::vector<std::uint32_t>& labels,
+                const std::vector<std::uint8_t>& mask) {
+  const std::size_t n = logits.rows();
+  RIPPLE_CHECK(labels.size() == n && mask.size() == n);
+  std::size_t correct = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] == 0) continue;
+    ++count;
+    if (argmax_row(logits.row(i)) == labels[i]) ++correct;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(count);
+}
+
+double label_agreement(const Matrix& logits_a, const Matrix& logits_b) {
+  RIPPLE_CHECK(logits_a.same_shape(logits_b));
+  if (logits_a.rows() == 0) return 1.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < logits_a.rows(); ++i) {
+    if (argmax_row(logits_a.row(i)) == argmax_row(logits_b.row(i))) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(logits_a.rows());
+}
+
+}  // namespace ripple

@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss and classification accuracy for vertex
+// classification tasks. Only used by the trainer and the accuracy
+// experiments (Fig. 2a); the streaming engines never touch loss code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace ripple {
+
+// Computes mean cross-entropy over the rows selected by `mask` (mask[i]
+// nonzero => row i participates). grad, if non-null, receives dLoss/dlogits
+// (zero rows for unselected vertices).
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::uint32_t>& labels,
+                             const std::vector<std::uint8_t>& mask,
+                             Matrix* grad);
+
+// Fraction of selected rows whose argmax matches the label.
+double accuracy(const Matrix& logits, const std::vector<std::uint32_t>& labels,
+                const std::vector<std::uint8_t>& mask);
+
+// Agreement between two logit matrices' argmax rows (prediction stability
+// metric used when comparing sampled vs exact inference).
+double label_agreement(const Matrix& logits_a, const Matrix& logits_b);
+
+}  // namespace ripple

@@ -1,0 +1,125 @@
+#include "gnn/model.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::gc_s: return "GC-S";
+    case Workload::gs_s: return "GS-S";
+    case Workload::gc_m: return "GC-M";
+    case Workload::gi_s: return "GI-S";
+    case Workload::gc_w: return "GC-W";
+  }
+  return "?";
+}
+
+Workload workload_from_name(const std::string& name) {
+  for (Workload w : all_workloads()) {
+    if (name == workload_name(w)) return w;
+  }
+  RIPPLE_CHECK_MSG(false, "unknown workload '" << name << '\'');
+  throw check_error("unreachable");
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> workloads = {
+      Workload::gc_s, Workload::gs_s, Workload::gc_m, Workload::gi_s,
+      Workload::gc_w};
+  return workloads;
+}
+
+ModelConfig workload_config(Workload w, std::size_t feat_dim,
+                            std::size_t num_classes, std::size_t num_layers,
+                            std::size_t hidden_dim) {
+  ModelConfig config;
+  config.feat_dim = feat_dim;
+  config.num_classes = num_classes;
+  config.num_layers = num_layers;
+  config.hidden_dim = hidden_dim;
+  switch (w) {
+    case Workload::gc_s:
+      config.layer_kind = LayerKind::graph_conv;
+      config.aggregator = AggregatorKind::sum;
+      break;
+    case Workload::gs_s:
+      config.layer_kind = LayerKind::sage;
+      config.aggregator = AggregatorKind::sum;
+      break;
+    case Workload::gc_m:
+      config.layer_kind = LayerKind::graph_conv;
+      config.aggregator = AggregatorKind::mean;
+      break;
+    case Workload::gi_s:
+      config.layer_kind = LayerKind::gin;
+      config.aggregator = AggregatorKind::sum;
+      break;
+    case Workload::gc_w:
+      config.layer_kind = LayerKind::graph_conv;
+      config.aggregator = AggregatorKind::weighted_sum;
+      break;
+  }
+  return config;
+}
+
+GnnModel::GnnModel(ModelConfig config, std::vector<GnnLayer> layers)
+    : config_(config), layers_(std::move(layers)) {
+  RIPPLE_CHECK_MSG(layers_.size() == config_.num_layers,
+                   "layer count mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    RIPPLE_CHECK(layers_[l].in_dim() == config_.layer_in_dim(l));
+    RIPPLE_CHECK(layers_[l].out_dim() == config_.layer_out_dim(l));
+  }
+}
+
+GnnModel GnnModel::random(const ModelConfig& config, std::uint64_t seed) {
+  RIPPLE_CHECK(config.num_layers >= 1);
+  RIPPLE_CHECK(config.feat_dim > 0 && config.num_classes > 0);
+  Rng rng(seed);
+  std::vector<GnnLayer> layers;
+  layers.reserve(config.num_layers);
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    layers.push_back(GnnLayer::random(config.layer_kind,
+                                      config.layer_in_dim(l),
+                                      config.layer_out_dim(l), rng));
+  }
+  return GnnModel(config, std::move(layers));
+}
+
+void GnnModel::apply_activation_row(std::size_t l,
+                                    std::span<float> row) const {
+  if (has_activation(l)) relu_row(row);
+}
+
+void GnnModel::apply_activation_matrix(std::size_t l, Matrix& m) const {
+  if (has_activation(l)) relu_inplace(m);
+}
+
+std::size_t GnnModel::num_parameters() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.num_parameters();
+  return total;
+}
+
+EmbeddingStore::EmbeddingStore(const ModelConfig& config,
+                               std::size_t num_vertices) {
+  layers_.reserve(config.num_layers + 1);
+  for (std::size_t l = 0; l <= config.num_layers; ++l) {
+    layers_.emplace_back(num_vertices, config.embedding_dim(l));
+  }
+}
+
+std::uint32_t EmbeddingStore::predicted_label(VertexId v) const {
+  return static_cast<std::uint32_t>(argmax_row(logits().row(v)));
+}
+
+std::size_t EmbeddingStore::bytes() const {
+  std::size_t total = 0;
+  for (const auto& m : layers_) total += m.bytes();
+  return total;
+}
+
+}  // namespace ripple

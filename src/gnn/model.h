@@ -1,0 +1,109 @@
+// L-layer GNN model: layer stack + aggregation function + activation plan.
+//
+// The five paper workloads (§7.1.1) are combinations of a layer family and a
+// linear aggregator:
+//   GC-S  GraphConv + sum        GS-S  GraphSAGE + sum
+//   GC-M  GraphConv + mean       GI-S  GINConv  + sum
+//   GC-W  GraphConv + weighted-sum
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gnn/aggregator.h"
+#include "gnn/layers.h"
+
+namespace ripple {
+
+enum class Workload { gc_s, gs_s, gc_m, gi_s, gc_w };
+
+const char* workload_name(Workload w);
+Workload workload_from_name(const std::string& name);
+const std::vector<Workload>& all_workloads();
+
+struct ModelConfig {
+  LayerKind layer_kind = LayerKind::graph_conv;
+  AggregatorKind aggregator = AggregatorKind::sum;
+  std::size_t num_layers = 2;    // L
+  std::size_t feat_dim = 0;      // input dimension (H^0 width)
+  std::size_t hidden_dim = 64;   // width of H^1..H^{L-1}
+  std::size_t num_classes = 0;   // output dimension (H^L width)
+
+  // Width of layer-l input (l in [0, L)): feat_dim for l=0, else hidden.
+  std::size_t layer_in_dim(std::size_t l) const {
+    return l == 0 ? feat_dim : hidden_dim;
+  }
+  // Width of layer-l output: num_classes for the last layer, else hidden.
+  std::size_t layer_out_dim(std::size_t l) const {
+    return l + 1 == num_layers ? num_classes : hidden_dim;
+  }
+  // Width of the H^l embedding table (l in [0, L]).
+  std::size_t embedding_dim(std::size_t l) const {
+    if (l == 0) return feat_dim;
+    return l == num_layers ? num_classes : hidden_dim;
+  }
+};
+
+// Builds the config for one of the five named workloads.
+ModelConfig workload_config(Workload w, std::size_t feat_dim,
+                            std::size_t num_classes, std::size_t num_layers,
+                            std::size_t hidden_dim = 64);
+
+class GnnModel {
+ public:
+  GnnModel(ModelConfig config, std::vector<GnnLayer> layers);
+
+  // Xavier-initialized model (an "untrained checkpoint"): sufficient for all
+  // throughput/latency experiments, which are value-independent.
+  static GnnModel random(const ModelConfig& config, std::uint64_t seed = 7);
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const GnnLayer& layer(std::size_t l) const { return layers_[l]; }
+  GnnLayer& mutable_layer(std::size_t l) { return layers_[l]; }
+
+  // ReLU on hidden layers; the output layer emits raw logits.
+  bool has_activation(std::size_t l) const {
+    return l + 1 < layers_.size();
+  }
+  void apply_activation_row(std::size_t l, std::span<float> row) const;
+  void apply_activation_matrix(std::size_t l, Matrix& m) const;
+
+  std::size_t num_parameters() const;
+
+ private:
+  ModelConfig config_;
+  std::vector<GnnLayer> layers_;
+};
+
+// Per-layer embedding tables H^0..H^L for all vertices. H^0 aliases the
+// vertex features; H^L holds the output logits whose row-argmax is the
+// predicted label.
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+  EmbeddingStore(const ModelConfig& config, std::size_t num_vertices);
+
+  std::size_t num_layers() const { return layers_.size() - 1; }  // == L
+  std::size_t num_vertices() const {
+    return layers_.empty() ? 0 : layers_[0].rows();
+  }
+
+  Matrix& layer(std::size_t l) { return layers_[l]; }
+  const Matrix& layer(std::size_t l) const { return layers_[l]; }
+
+  Matrix& features() { return layers_.front(); }
+  const Matrix& features() const { return layers_.front(); }
+  Matrix& logits() { return layers_.back(); }
+  const Matrix& logits() const { return layers_.back(); }
+
+  std::uint32_t predicted_label(VertexId v) const;
+
+  std::size_t bytes() const;
+
+ private:
+  std::vector<Matrix> layers_;  // size L + 1
+};
+
+}  // namespace ripple

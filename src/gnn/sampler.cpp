@@ -1,0 +1,21 @@
+#include "gnn/sampler.h"
+
+namespace ripple {
+
+std::vector<Neighbor> NeighborSampler::sample_in(const DynamicGraph& graph,
+                                                 VertexId v,
+                                                 std::size_t fanout) {
+  const auto nbrs = graph.in_neighbors(v);
+  if (fanout == 0 || nbrs.size() <= fanout) {
+    return {nbrs.begin(), nbrs.end()};
+  }
+  const auto picks =
+      rng_.sample_indices(static_cast<std::uint32_t>(nbrs.size()),
+                          static_cast<std::uint32_t>(fanout));
+  std::vector<Neighbor> out;
+  out.reserve(fanout);
+  for (const auto idx : picks) out.push_back(nbrs[idx]);
+  return out;
+}
+
+}  // namespace ripple

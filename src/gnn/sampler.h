@@ -1,0 +1,27 @@
+// Fanout-bounded neighbor sampling, as used by vertex-wise inference in
+// Fig. 2a. Sampling trades determinism/accuracy for smaller computation
+// graphs; fanout = 0 disables sampling (exact full neighborhood).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+
+class NeighborSampler {
+ public:
+  explicit NeighborSampler(std::uint64_t seed = 99) : rng_(seed) {}
+
+  // Up to `fanout` distinct in-neighbors of v, uniform without replacement.
+  // fanout == 0 or fanout >= in_degree returns the whole neighborhood.
+  std::vector<Neighbor> sample_in(const DynamicGraph& graph, VertexId v,
+                                  std::size_t fanout);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,277 @@
+#include "gnn/trainer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "gnn/loss.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+
+namespace {
+
+// Column sums of grad into a (1 x cols) bias-gradient row.
+void colsum(const Matrix& grad, Matrix& out) {
+  out.resize(1, grad.cols());
+  auto acc = out.row(0);
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    vec_add(acc, grad.row(r));
+  }
+}
+
+// Adam optimizer over a flat list of parameter matrices.
+class Adam {
+ public:
+  Adam(std::vector<Matrix*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Matrix* p : params_) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+
+  void step(const std::vector<Matrix>& grads) {
+    RIPPLE_CHECK(grads.size() == params_.size());
+    ++t_;
+    const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      Matrix& p = *params_[i];
+      const Matrix& g = grads[i];
+      RIPPLE_CHECK(p.same_shape(g));
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const float gj = g.data()[j];
+        float& mj = m_[i].data()[j];
+        float& vj = v_[i].data()[j];
+        mj = static_cast<float>(kBeta1 * mj + (1 - kBeta1) * gj);
+        vj = static_cast<float>(kBeta2 * vj + (1 - kBeta2) * gj * gj);
+        const double mhat = mj / bc1;
+        const double vhat = vj / bc2;
+        p.data()[j] -=
+            static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + kEps));
+      }
+    }
+  }
+
+ private:
+  static constexpr double kBeta1 = 0.9;
+  static constexpr double kBeta2 = 0.999;
+  static constexpr double kEps = 1e-8;
+
+  std::vector<Matrix*> params_;
+  double lr_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  std::uint64_t t_ = 0;
+};
+
+// Collects pointers to every trainable matrix of the model, in a stable
+// order matched by the gradient list the backward pass produces.
+std::vector<Matrix*> collect_params(GnnModel& model) {
+  std::vector<Matrix*> params;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    auto& p = model.mutable_layer(l).mutable_params();
+    if (auto* gc = std::get_if<GraphConvParams>(&p)) {
+      params.push_back(&gc->weight);
+      params.push_back(&gc->bias);
+    } else if (auto* sage = std::get_if<SageParams>(&p)) {
+      params.push_back(&sage->w_self);
+      params.push_back(&sage->w_neigh);
+      params.push_back(&sage->bias);
+    } else {
+      auto& gin = std::get<GinParams>(p);
+      params.push_back(&gin.w1);
+      params.push_back(&gin.b1);
+      params.push_back(&gin.w2);
+      params.push_back(&gin.b2);
+    }
+  }
+  return params;
+}
+
+// Per-layer forward caches needed by the backward pass.
+struct LayerCache {
+  Matrix x_agg;   // aggregated neighborhood input
+  Matrix pre;     // pre-activation output P
+  Matrix h_out;   // post-activation output H
+  // GIN only:
+  Matrix z;       // (1+eps) h_self + x_agg
+  Matrix q_pre;   // first MLP linear pre-ReLU
+  Matrix q;       // post-ReLU
+};
+
+}  // namespace
+
+TrainResult train_full_batch(GnnModel& model, const DynamicGraph& graph,
+                             const Matrix& features,
+                             const std::vector<std::uint32_t>& labels,
+                             const TrainConfig& config) {
+  const std::size_t n = graph.num_vertices();
+  RIPPLE_CHECK(features.rows() == n && labels.size() == n);
+  RIPPLE_CHECK_MSG(is_linear(model.config().aggregator),
+                   "trainer supports linear aggregators only");
+  const std::size_t num_layers = model.num_layers();
+  const AggregatorKind agg = model.config().aggregator;
+
+  // Train/test masks.
+  Rng rng(config.seed);
+  std::vector<std::uint8_t> train_mask(n, 0);
+  std::vector<std::uint8_t> test_mask(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < config.train_fraction) {
+      train_mask[i] = 1;
+    } else {
+      test_mask[i] = 1;
+    }
+  }
+
+  Adam optimizer(collect_params(model), config.learning_rate);
+  TrainResult result;
+  std::vector<LayerCache> caches(num_layers);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // ---- Forward ----
+    const Matrix* h_prev = &features;
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      LayerCache& cache = caches[l];
+      aggregate_all(agg, graph, *h_prev, cache.x_agg);
+      const GnnLayer& layer = model.layer(l);
+      if (layer.kind() == LayerKind::gin) {
+        const auto& gin = std::get<GinParams>(layer.params());
+        cache.z.resize(h_prev->rows(), layer.in_dim());
+        for (std::size_t r = 0; r < cache.z.rows(); ++r) {
+          auto zr = cache.z.row(r);
+          const auto hr = h_prev->row(r);
+          const auto xr = cache.x_agg.row(r);
+          for (std::size_t j = 0; j < zr.size(); ++j) {
+            zr[j] = (1.0f + gin.eps) * hr[j] + xr[j];
+          }
+        }
+        gemm(cache.z, gin.w1, cache.q_pre);
+        add_bias_rows(cache.q_pre, gin.b1);
+        cache.q = cache.q_pre;
+        relu_inplace(cache.q);
+        gemm(cache.q, gin.w2, cache.pre);
+        add_bias_rows(cache.pre, gin.b2);
+      } else {
+        layer.update_matrix(*h_prev, cache.x_agg, cache.pre);
+      }
+      cache.h_out = cache.pre;
+      model.apply_activation_matrix(l, cache.h_out);
+      h_prev = &cache.h_out;
+    }
+    const Matrix& logits = caches.back().h_out;
+
+    // ---- Loss ----
+    Matrix grad_logits;
+    const double loss =
+        softmax_cross_entropy(logits, labels, train_mask, &grad_logits);
+    result.loss_history.push_back(loss);
+
+    // ---- Backward ----
+    std::vector<Matrix> grads;  // must mirror collect_params() order
+    grads.resize(0);
+    std::vector<Matrix> layer_grads;  // temp per layer, reversed later
+    Matrix grad_h = std::move(grad_logits);
+    std::vector<std::vector<Matrix>> per_layer_grads(num_layers);
+    for (std::size_t li = num_layers; li-- > 0;) {
+      LayerCache& cache = caches[li];
+      const Matrix& h_prev_mat = (li == 0) ? features : caches[li - 1].h_out;
+      // dP = dH ⊙ σ'(P)
+      Matrix grad_pre = std::move(grad_h);
+      if (model.has_activation(li)) {
+        for (std::size_t r = 0; r < grad_pre.rows(); ++r) {
+          relu_backward_row(cache.pre.row(r), grad_pre.row(r));
+        }
+      }
+      Matrix grad_x;  // dX_agg
+      Matrix grad_h_direct(h_prev_mat.rows(), h_prev_mat.cols());
+      const GnnLayer& layer = model.layer(li);
+      auto& grads_out = per_layer_grads[li];
+      if (const auto* gc = std::get_if<GraphConvParams>(&layer.params())) {
+        Matrix dw;
+        gemm_at_b(cache.x_agg, grad_pre, dw);
+        Matrix db;
+        colsum(grad_pre, db);
+        gemm_a_bt(grad_pre, gc->weight, grad_x);
+        grads_out.push_back(std::move(dw));
+        grads_out.push_back(std::move(db));
+      } else if (const auto* sage = std::get_if<SageParams>(&layer.params())) {
+        Matrix dw_self;
+        gemm_at_b(h_prev_mat, grad_pre, dw_self);
+        Matrix dw_neigh;
+        gemm_at_b(cache.x_agg, grad_pre, dw_neigh);
+        Matrix db;
+        colsum(grad_pre, db);
+        gemm_a_bt(grad_pre, sage->w_self, grad_h_direct);
+        gemm_a_bt(grad_pre, sage->w_neigh, grad_x);
+        grads_out.push_back(std::move(dw_self));
+        grads_out.push_back(std::move(dw_neigh));
+        grads_out.push_back(std::move(db));
+      } else {
+        const auto& gin = std::get<GinParams>(layer.params());
+        Matrix dw2;
+        gemm_at_b(cache.q, grad_pre, dw2);
+        Matrix db2;
+        colsum(grad_pre, db2);
+        Matrix grad_q;
+        gemm_a_bt(grad_pre, gin.w2, grad_q);
+        for (std::size_t r = 0; r < grad_q.rows(); ++r) {
+          relu_backward_row(cache.q_pre.row(r), grad_q.row(r));
+        }
+        Matrix dw1;
+        gemm_at_b(cache.z, grad_q, dw1);
+        Matrix db1;
+        colsum(grad_q, db1);
+        Matrix grad_z;
+        gemm_a_bt(grad_q, gin.w1, grad_z);
+        // dH_prev direct: (1 + eps) * dZ; dX_agg = dZ.
+        grad_h_direct = grad_z;
+        for (std::size_t j = 0; j < grad_h_direct.size(); ++j) {
+          grad_h_direct.data()[j] *= (1.0f + gin.eps);
+        }
+        grad_x = std::move(grad_z);
+        grads_out.push_back(std::move(dw1));
+        grads_out.push_back(std::move(db1));
+        grads_out.push_back(std::move(dw2));
+        grads_out.push_back(std::move(db2));
+      }
+      // dH_prev = direct + A^T dX.
+      aggregate_all_transpose(agg, graph, grad_x, grad_h_direct);
+      grad_h = std::move(grad_h_direct);
+    }
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      for (auto& g : per_layer_grads[l]) grads.push_back(std::move(g));
+    }
+    optimizer.step(grads);
+
+    if (config.verbose &&
+        (epoch % config.log_every == 0 || epoch + 1 == config.epochs)) {
+      LOG_INFO("epoch " << epoch << " loss " << loss << " train_acc "
+                        << accuracy(logits, labels, train_mask));
+    }
+    result.final_loss = loss;
+  }
+
+  // Final metrics with the trained weights.
+  const Matrix* h_prev = &features;
+  Matrix x_agg;
+  Matrix h_out;
+  Matrix current = features;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    aggregate_all(agg, graph, current, x_agg);
+    model.layer(l).update_matrix(current, x_agg, h_out);
+    model.apply_activation_matrix(l, h_out);
+    current = h_out;
+  }
+  (void)h_prev;
+  result.train_accuracy = accuracy(current, labels, train_mask);
+  result.test_accuracy = accuracy(current, labels, test_mask);
+  return result;
+}
+
+}  // namespace ripple

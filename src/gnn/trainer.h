@@ -1,0 +1,40 @@
+// Full-batch GNN training with hand-written backpropagation and Adam.
+//
+// The paper trains its models on a 90% snapshot of each graph and then
+// freezes the weights for inference; the streaming engines never retrain.
+// This trainer exists so accuracy-sensitive experiments (Fig. 2a) run
+// against a genuinely trained model rather than random weights. It supports
+// all three layer families and the three linear aggregators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/model.h"
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+
+struct TrainConfig {
+  std::size_t epochs = 100;
+  double learning_rate = 1e-2;
+  double train_fraction = 0.6;  // remaining vertices form the test set
+  std::uint64_t seed = 1234;
+  bool verbose = false;
+  std::size_t log_every = 20;
+};
+
+struct TrainResult {
+  double final_loss = 0;
+  double train_accuracy = 0;
+  double test_accuracy = 0;
+  std::vector<double> loss_history;
+};
+
+// Trains `model` in place on (graph, features, labels).
+TrainResult train_full_batch(GnnModel& model, const DynamicGraph& graph,
+                             const Matrix& features,
+                             const std::vector<std::uint32_t>& labels,
+                             const TrainConfig& config);
+
+}  // namespace ripple

@@ -1,0 +1,28 @@
+#include "graph/csr.h"
+
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+
+Csr Csr::from_graph(const DynamicGraph& graph) {
+  Csr csr;
+  const std::size_t n = graph.num_vertices();
+  csr.in_offsets_.assign(n + 1, 0);
+  csr.out_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    csr.in_offsets_[v + 1] = csr.in_offsets_[v] + graph.in_degree(v);
+    csr.out_offsets_[v + 1] = csr.out_offsets_[v] + graph.out_degree(v);
+  }
+  csr.in_neighbors_.reserve(csr.in_offsets_[n]);
+  csr.out_neighbors_.reserve(csr.out_offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto in = graph.in_neighbors(v);
+    csr.in_neighbors_.insert(csr.in_neighbors_.end(), in.begin(), in.end());
+    const auto out = graph.out_neighbors(v);
+    csr.out_neighbors_.insert(csr.out_neighbors_.end(), out.begin(),
+                              out.end());
+  }
+  return csr;
+}
+
+}  // namespace ripple

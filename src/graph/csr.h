@@ -1,0 +1,59 @@
+// Immutable compressed-sparse-row snapshot of a directed graph.
+//
+// Serves two roles: (1) fast bootstrap inference over the initial snapshot
+// and (2) the storage model of the DGL-emulated baselines, where applying a
+// streaming update forces a full rebuild (the expensive "Update" phase of
+// Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ripple {
+
+class DynamicGraph;
+
+class Csr {
+ public:
+  Csr() = default;
+
+  // Builds both in- and out-direction CSR from the dynamic graph.
+  static Csr from_graph(const DynamicGraph& graph);
+
+  std::size_t num_vertices() const {
+    return in_offsets_.empty() ? 0 : in_offsets_.size() - 1;
+  }
+  std::size_t num_edges() const { return in_neighbors_.size(); }
+
+  std::span<const Neighbor> in_neighbors(VertexId v) const {
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  std::span<const Neighbor> out_neighbors(VertexId u) const {
+    return {out_neighbors_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+
+  std::size_t in_degree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  std::size_t out_degree(VertexId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+
+  std::size_t bytes() const {
+    return (in_offsets_.size() + out_offsets_.size()) * sizeof(std::size_t) +
+           (in_neighbors_.size() + out_neighbors_.size()) * sizeof(Neighbor);
+  }
+
+ private:
+  std::vector<std::size_t> in_offsets_;
+  std::vector<Neighbor> in_neighbors_;
+  std::vector<std::size_t> out_offsets_;
+  std::vector<Neighbor> out_neighbors_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,105 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+void DynamicGraph::check_vertex(VertexId v) const {
+  RIPPLE_CHECK_MSG(v < out_.size(),
+                   "vertex " << v << " out of range (n=" << out_.size() << ')');
+}
+
+namespace {
+
+std::vector<Neighbor>::iterator find_neighbor(std::vector<Neighbor>& list,
+                                              VertexId target) {
+  return std::find_if(list.begin(), list.end(), [target](const Neighbor& nb) {
+    return nb.vertex == target;
+  });
+}
+
+std::vector<Neighbor>::const_iterator find_neighbor(
+    const std::vector<Neighbor>& list, VertexId target) {
+  return std::find_if(list.begin(), list.end(), [target](const Neighbor& nb) {
+    return nb.vertex == target;
+  });
+}
+
+}  // namespace
+
+bool DynamicGraph::add_edge(VertexId u, VertexId v, EdgeWeight weight) {
+  check_vertex(u);
+  check_vertex(v);
+  if (find_neighbor(out_[u], v) != out_[u].end()) return false;
+  out_[u].push_back({v, weight});
+  in_[v].push_back({u, weight});
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  auto out_it = find_neighbor(out_[u], v);
+  if (out_it == out_[u].end()) return false;
+  // Swap-erase keeps removal O(degree) with no shifting.
+  *out_it = out_[u].back();
+  out_[u].pop_back();
+  auto in_it = find_neighbor(in_[v], u);
+  RIPPLE_CHECK_MSG(in_it != in_[v].end(),
+                   "in/out adjacency out of sync for edge (" << u << ',' << v
+                                                             << ')');
+  *in_it = in_[v].back();
+  in_[v].pop_back();
+  --num_edges_;
+  return true;
+}
+
+bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  return find_neighbor(out_[u], v) != out_[u].end();
+}
+
+EdgeWeight DynamicGraph::edge_weight(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  auto it = find_neighbor(out_[u], v);
+  RIPPLE_CHECK_MSG(it != out_[u].end(),
+                   "edge (" << u << ',' << v << ") not found");
+  return it->weight;
+}
+
+bool DynamicGraph::set_edge_weight(VertexId u, VertexId v, EdgeWeight weight) {
+  check_vertex(u);
+  check_vertex(v);
+  auto out_it = find_neighbor(out_[u], v);
+  if (out_it == out_[u].end()) return false;
+  out_it->weight = weight;
+  auto in_it = find_neighbor(in_[v], u);
+  RIPPLE_CHECK(in_it != in_[v].end());
+  in_it->weight = weight;
+  return true;
+}
+
+std::vector<DynamicGraph::Edge> DynamicGraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(num_edges_);
+  for (VertexId u = 0; u < out_.size(); ++u) {
+    for (const Neighbor& nb : out_[u]) {
+      result.push_back({u, nb.vertex, nb.weight});
+    }
+  }
+  return result;
+}
+
+std::size_t DynamicGraph::bytes() const {
+  std::size_t total = 0;
+  for (const auto& list : out_) total += list.capacity() * sizeof(Neighbor);
+  for (const auto& list : in_) total += list.capacity() * sizeof(Neighbor);
+  return total;
+}
+
+}  // namespace ripple

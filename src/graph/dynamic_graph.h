@@ -1,0 +1,78 @@
+// Mutable directed graph backed by per-vertex edge lists.
+//
+// This is the "lightweight edge list structure designed to efficiently
+// handle streaming updates" from the paper (§6): edge insertion/removal is
+// O(out_degree(u) + in_degree(v)) with no global rebuild, unlike CSR-based
+// stores (see infer/dgl_emu for the contrast). Both out- and in-adjacency
+// are maintained because update propagation pushes along out-edges while
+// recompute baselines pull along in-edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ripple {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  explicit DynamicGraph(std::size_t num_vertices)
+      : out_(num_vertices), in_(num_vertices) {}
+
+  std::size_t num_vertices() const { return out_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  // Inserts directed edge (u, v). Returns false (and leaves the graph
+  // unchanged) if the edge already exists. Self-loops are allowed; parallel
+  // edges are not.
+  bool add_edge(VertexId u, VertexId v, EdgeWeight weight = 1.0f);
+
+  // Removes directed edge (u, v); returns false if it was absent.
+  bool remove_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  // Weight of edge (u, v); checks that the edge exists.
+  EdgeWeight edge_weight(VertexId u, VertexId v) const;
+
+  // Updates the weight of an existing edge; returns false if absent.
+  bool set_edge_weight(VertexId u, VertexId v, EdgeWeight weight);
+
+  std::size_t out_degree(VertexId u) const { return out_[u].size(); }
+  std::size_t in_degree(VertexId v) const { return in_[v].size(); }
+
+  std::span<const Neighbor> out_neighbors(VertexId u) const {
+    return out_[u];
+  }
+  std::span<const Neighbor> in_neighbors(VertexId v) const { return in_[v]; }
+
+  double avg_in_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges_) / num_vertices();
+  }
+
+  // All edges as (u, v, w) triples, ordered by source id (test/IO helper).
+  struct Edge {
+    VertexId src;
+    VertexId dst;
+    EdgeWeight weight;
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+  std::vector<Edge> edges() const;
+
+  // Approximate resident bytes of the adjacency structures.
+  std::size_t bytes() const;
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  std::vector<std::vector<Neighbor>> out_;
+  std::vector<std::vector<Neighbor>> in_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ripple

@@ -1,0 +1,45 @@
+// Synthetic graph generators used to build the dataset analogues (Table 3).
+//
+// All generators produce *directed* graphs with no parallel edges and are
+// fully deterministic given the Rng seed. Degree structure matters more
+// than any other property for Ripple's experiments, because the affected
+// neighborhood growth rate (Fig. 2b) is governed by the in-degree
+// distribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+
+class Rng;
+
+// G(n, m): m distinct directed edges chosen uniformly at random.
+DynamicGraph erdos_renyi(std::size_t num_vertices, std::size_t num_edges,
+                         Rng& rng);
+
+// Preferential attachment: vertices arrive one by one and connect
+// `edges_per_vertex` out-edges to earlier vertices with probability
+// proportional to (in_degree + 1). Produces a heavy-tailed in-degree
+// distribution (Reddit/Products analogue).
+DynamicGraph barabasi_albert(std::size_t num_vertices,
+                             std::size_t edges_per_vertex, Rng& rng);
+
+// R-MAT (Chakrabarti et al.): recursive quadrant sampling with probabilities
+// (a, b, c, d); a + b + c + d must be ≈ 1. num_vertices is rounded up to a
+// power of two internally; the graph is truncated back to num_vertices.
+DynamicGraph rmat(std::size_t num_vertices, std::size_t num_edges, double a,
+                  double b, double c, double d, Rng& rng);
+
+// Stochastic block model with `num_blocks` equal communities. Every ordered
+// pair within a community is an edge with probability p_in, across
+// communities with probability p_out. Labels (community ids) are written to
+// *labels. Used for trainable classification tasks (Fig. 2a).
+DynamicGraph stochastic_block_model(std::size_t num_vertices,
+                                    std::size_t num_blocks, double p_in,
+                                    double p_out, Rng& rng,
+                                    std::vector<std::uint32_t>* labels);
+
+}  // namespace ripple

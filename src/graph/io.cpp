@@ -1,0 +1,96 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace ripple {
+
+namespace {
+
+constexpr char kGraphMagic[4] = {'R', 'P', 'L', 'G'};
+constexpr char kMatrixMagic[4] = {'R', 'P', 'L', 'M'};
+
+void write_bytes(std::ofstream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  RIPPLE_CHECK_MSG(out.good(), "write failed");
+}
+
+void read_bytes(std::ifstream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  RIPPLE_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(size),
+                   "short read");
+}
+
+}  // namespace
+
+void save_graph(const DynamicGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RIPPLE_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  write_bytes(out, kGraphMagic, sizeof(kGraphMagic));
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_edges();
+  write_bytes(out, &n, sizeof(n));
+  write_bytes(out, &m, sizeof(m));
+  for (const auto& edge : graph.edges()) {
+    write_bytes(out, &edge.src, sizeof(edge.src));
+    write_bytes(out, &edge.dst, sizeof(edge.dst));
+    write_bytes(out, &edge.weight, sizeof(edge.weight));
+  }
+}
+
+DynamicGraph load_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RIPPLE_CHECK_MSG(in.is_open(), "cannot open " << path);
+  char magic[4];
+  read_bytes(in, magic, sizeof(magic));
+  RIPPLE_CHECK_MSG(std::memcmp(magic, kGraphMagic, 4) == 0,
+                   "bad graph magic in " << path);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  read_bytes(in, &n, sizeof(n));
+  read_bytes(in, &m, sizeof(m));
+  DynamicGraph graph(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    EdgeWeight weight = 1.0f;
+    read_bytes(in, &src, sizeof(src));
+    read_bytes(in, &dst, sizeof(dst));
+    read_bytes(in, &weight, sizeof(weight));
+    RIPPLE_CHECK_MSG(graph.add_edge(src, dst, weight),
+                     "duplicate edge in file: (" << src << ',' << dst << ')');
+  }
+  return graph;
+}
+
+void save_matrix(const Matrix& matrix, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RIPPLE_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  write_bytes(out, kMatrixMagic, sizeof(kMatrixMagic));
+  const std::uint64_t rows = matrix.rows();
+  const std::uint64_t cols = matrix.cols();
+  write_bytes(out, &rows, sizeof(rows));
+  write_bytes(out, &cols, sizeof(cols));
+  write_bytes(out, matrix.data(), matrix.size() * sizeof(float));
+}
+
+Matrix load_matrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RIPPLE_CHECK_MSG(in.is_open(), "cannot open " << path);
+  char magic[4];
+  read_bytes(in, magic, sizeof(magic));
+  RIPPLE_CHECK_MSG(std::memcmp(magic, kMatrixMagic, 4) == 0,
+                   "bad matrix magic in " << path);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  read_bytes(in, &rows, sizeof(rows));
+  read_bytes(in, &cols, sizeof(cols));
+  Matrix matrix(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  read_bytes(in, matrix.data(), matrix.size() * sizeof(float));
+  return matrix;
+}
+
+}  // namespace ripple

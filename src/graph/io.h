@@ -1,0 +1,22 @@
+// Binary serialization for graphs and feature matrices so expensive
+// generated datasets can be cached on disk between bench runs.
+//
+// Format (little-endian, host-width-independent):
+//   graph:   magic "RPLG" | u64 n | u64 m | m x (u32 src, u32 dst, f32 w)
+//   matrix:  magic "RPLM" | u64 rows | u64 cols | rows*cols x f32
+#pragma once
+
+#include <string>
+
+#include "graph/dynamic_graph.h"
+#include "tensor/matrix.h"
+
+namespace ripple {
+
+void save_graph(const DynamicGraph& graph, const std::string& path);
+DynamicGraph load_graph(const std::string& path);
+
+void save_matrix(const Matrix& matrix, const std::string& path);
+Matrix load_matrix(const std::string& path);
+
+}  // namespace ripple

@@ -1,0 +1,42 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+
+GraphStats compute_stats(const DynamicGraph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  stats.avg_in_degree = graph.avg_in_degree();
+  std::vector<std::size_t> in_degrees;
+  in_degrees.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::size_t in_deg = graph.in_degree(v);
+    const std::size_t out_deg = graph.out_degree(v);
+    in_degrees.push_back(in_deg);
+    stats.max_in_degree = std::max(stats.max_in_degree, in_deg);
+    stats.max_out_degree = std::max(stats.max_out_degree, out_deg);
+    if (in_deg == 0 && out_deg == 0) ++stats.isolated_vertices;
+  }
+  if (!in_degrees.empty()) {
+    std::sort(in_degrees.begin(), in_degrees.end());
+    stats.in_degree_p99 = static_cast<double>(
+        in_degrees[static_cast<std::size_t>(0.99 * (in_degrees.size() - 1))]);
+  }
+  return stats;
+}
+
+std::string GraphStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices << " m=" << num_edges
+     << " avg_in_deg=" << avg_in_degree << " max_in=" << max_in_degree
+     << " max_out=" << max_out_degree << " p99_in=" << in_degree_p99
+     << " isolated=" << isolated_vertices;
+  return os.str();
+}
+
+}  // namespace ripple

@@ -1,0 +1,27 @@
+// Descriptive statistics over a graph's degree structure (Table 3 bench and
+// generator sanity tests).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ripple {
+
+class DynamicGraph;
+
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double avg_in_degree = 0;
+  std::size_t max_in_degree = 0;
+  std::size_t max_out_degree = 0;
+  std::size_t isolated_vertices = 0;  // zero in- AND out-degree
+  double in_degree_p99 = 0;
+
+  std::string to_string() const;
+};
+
+GraphStats compute_stats(const DynamicGraph& graph);
+
+}  // namespace ripple

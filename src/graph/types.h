@@ -1,0 +1,25 @@
+// Shared graph typedefs. Vertex ids are dense 32-bit indices; the largest
+// dataset analogue (papers-s) stays well below 2^32 vertices.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ripple {
+
+using VertexId = std::uint32_t;
+using EdgeWeight = float;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// A directed neighbor entry: target vertex plus the edge weight (1.0 for
+// unweighted graphs; the GC-W workload uses per-edge weights).
+struct Neighbor {
+  VertexId vertex = kInvalidVertex;
+  EdgeWeight weight = 1.0f;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace ripple

@@ -1,0 +1,64 @@
+#include "infer/affected.h"
+
+namespace ripple {
+
+std::vector<std::vector<VertexId>> compute_affected_sets(
+    const DynamicGraph& graph, UpdateBatch batch, std::size_t num_layers,
+    bool uses_self) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::vector<VertexId>> affected(num_layers);
+  if (num_layers == 0) return affected;
+
+  // Mark bitmap reused across hops; reset by walking the affected list.
+  std::vector<std::uint8_t> mark(n, 0);
+  auto insert = [&](std::vector<VertexId>& set, VertexId v) {
+    if (mark[v] == 0) {
+      mark[v] = 1;
+      set.push_back(v);
+    }
+  };
+
+  // An added/removed edge (u, v) changes the sink's aggregate at EVERY
+  // layer (the edge feeds x^l_v for all l), so edge sinks seed every hop —
+  // cf. Fig. 4(b), where the C->A addition updates h2_A as well as h1_A.
+  std::vector<VertexId> edge_sinks;
+  for (const GraphUpdate& update : batch) {
+    if (update.is_edge_update()) insert(edge_sinks, update.v);
+  }
+  for (VertexId v : edge_sinks) mark[v] = 0;
+
+  // Hop 1 seeds.
+  for (VertexId v : edge_sinks) insert(affected[0], v);
+  for (const GraphUpdate& update : batch) {
+    if (!update.is_edge_update()) {
+      for (const Neighbor& nb : graph.out_neighbors(update.u)) {
+        insert(affected[0], nb.vertex);
+      }
+      if (uses_self) insert(affected[0], update.u);
+    }
+  }
+  for (VertexId v : affected[0]) mark[v] = 0;
+
+  // Subsequent hops: out-neighbors of the previous hop, the previous hop
+  // itself for self-dependent Update functions, and the edge sinks.
+  for (std::size_t l = 1; l < num_layers; ++l) {
+    for (VertexId v : affected[l - 1]) {
+      for (const Neighbor& nb : graph.out_neighbors(v)) {
+        insert(affected[l], nb.vertex);
+      }
+      if (uses_self) insert(affected[l], v);
+    }
+    for (VertexId v : edge_sinks) insert(affected[l], v);
+    for (VertexId v : affected[l]) mark[v] = 0;
+  }
+  return affected;
+}
+
+std::size_t propagation_tree_size(
+    const std::vector<std::vector<VertexId>>& affected) {
+  std::size_t total = 0;
+  for (const auto& hop : affected) total += hop.size();
+  return total;
+}
+
+}  // namespace ripple

@@ -1,0 +1,26 @@
+// Hop-by-hop affected-set computation shared by the recompute baselines.
+//
+// Given a batch whose topology/feature changes are ALREADY applied to the
+// graph, computes A_1..A_L where A_l is the set of vertices whose layer-l
+// embedding may change (§4.2): A_1 seeds from edge sinks and feature-update
+// out-neighborhoods; A_{l+1} = out-neighbors(A_l), plus A_l itself for
+// models whose Update reads the vertex's own previous-layer embedding.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "stream/update.h"
+
+namespace ripple {
+
+std::vector<std::vector<VertexId>> compute_affected_sets(
+    const DynamicGraph& graph, UpdateBatch batch, std::size_t num_layers,
+    bool uses_self);
+
+// Total vertices across all hops (the paper's "propagation tree" size,
+// Fig. 11 x-axis).
+std::size_t propagation_tree_size(
+    const std::vector<std::vector<VertexId>>& affected);
+
+}  // namespace ripple

@@ -1,0 +1,34 @@
+#include "infer/engine.h"
+
+#include "common/check.h"
+#include "core/ripple_engine.h"
+#include "infer/dgl_emu.h"
+#include "infer/recompute.h"
+#include "infer/vertexwise.h"
+
+namespace ripple {
+
+std::unique_ptr<InferenceEngine> make_engine(const std::string& key,
+                                             const GnnModel& model,
+                                             const DynamicGraph& snapshot,
+                                             const Matrix& features,
+                                             ThreadPool* pool) {
+  if (key == "ripple") {
+    return std::make_unique<RippleEngine>(model, snapshot, features, pool);
+  }
+  if (key == "rc") {
+    return std::make_unique<RecomputeEngine>(model, snapshot, features, pool);
+  }
+  if (key == "drc") {
+    return std::make_unique<DglEmuEngine>(model, snapshot, features, pool);
+  }
+  if (key == "dnc") {
+    return std::make_unique<VertexWiseEngine>(model, snapshot, features,
+                                              /*fanout=*/0, /*seed=*/99, pool);
+  }
+  RIPPLE_CHECK_MSG(false, "unknown engine '" << key
+                                             << "' (ripple|rc|drc|dnc)");
+  throw check_error("unreachable");
+}
+
+}  // namespace ripple

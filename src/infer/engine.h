@@ -1,0 +1,58 @@
+// Common interface for all streaming inference engines: the Ripple core and
+// the three baselines (vertex-wise DNC, DGL-emulated layer-wise DRC, and the
+// custom layer-wise recompute RC).
+//
+// An engine owns a private copy of the graph and its embedding store; it is
+// bootstrapped once with layer-wise full inference and then consumes update
+// batches, keeping H^0..H^L exact after every batch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "gnn/model.h"
+#include "graph/dynamic_graph.h"
+#include "stream/update.h"
+
+namespace ripple {
+
+class ThreadPool;
+
+// Per-batch outcome and phase timings (Fig. 8's update/propagate split and
+// Fig. 11's propagation-tree size both come from here).
+struct BatchResult {
+  std::size_t batch_size = 0;
+  std::size_t propagation_tree_size = 0;  // Σ over hops of |affected set|
+  std::size_t affected_final = 0;         // |affected set| at hop L
+  double update_sec = 0;     // topology/feature application
+  double propagate_sec = 0;  // embedding propagation
+  double total_sec() const { return update_sec + propagate_sec; }
+};
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  // Applies one batch of updates and brings all embeddings up to date.
+  virtual BatchResult apply_batch(UpdateBatch batch) = 0;
+
+  virtual const EmbeddingStore& embeddings() const = 0;
+  virtual const DynamicGraph& graph() const = 0;
+  virtual const GnnModel& model() const = 0;
+
+  // Resident bytes of engine-private state (embeddings + caches), for the
+  // paper's memory-overhead comparison (§7.3).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+// Factory keys used by benches: "ripple", "rc", "drc", "dnc".
+std::unique_ptr<InferenceEngine> make_engine(const std::string& key,
+                                             const GnnModel& model,
+                                             const DynamicGraph& snapshot,
+                                             const Matrix& features,
+                                             ThreadPool* pool = nullptr);
+
+}  // namespace ripple

@@ -1,0 +1,27 @@
+// Layer-wise full-graph inference (DGI-style, §2.1): computes H^l for all
+// vertices from H^{l-1}, one layer at a time. Used to bootstrap every
+// engine's embedding store and as the ground truth in exactness tests.
+#pragma once
+
+#include "gnn/model.h"
+
+namespace ripple {
+
+class ThreadPool;
+
+// store.features() must already hold H^0; fills H^1..H^L.
+// GraphT: DynamicGraph or Csr.
+template <typename GraphT>
+void layerwise_full_inference(const GnnModel& model, const GraphT& graph,
+                              EmbeddingStore& store,
+                              ThreadPool* pool = nullptr) {
+  Matrix x_agg;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    aggregate_all(model.config().aggregator, graph, store.layer(l), x_agg);
+    model.layer(l).update_matrix(store.layer(l), x_agg, store.layer(l + 1),
+                                 pool);
+    model.apply_activation_matrix(l, store.layer(l + 1));
+  }
+}
+
+}  // namespace ripple

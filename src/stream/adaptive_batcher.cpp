@@ -1,0 +1,60 @@
+#include "stream/adaptive_batcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+
+AdaptiveBatcher::AdaptiveBatcher() : AdaptiveBatcher(Options{}) {}
+
+AdaptiveBatcher::AdaptiveBatcher(Options options) : options_(options) {
+  RIPPLE_CHECK(options_.min_batch >= 1);
+  RIPPLE_CHECK(options_.max_batch >= options_.min_batch);
+  RIPPLE_CHECK(options_.target_latency_sec > 0);
+  RIPPLE_CHECK(options_.ema_alpha > 0 && options_.ema_alpha <= 1);
+}
+
+std::size_t AdaptiveBatcher::next_batch_size() const {
+  if (samples_ < 2 || slope_sec_ <= 0) {
+    // Cold start: probe with the smallest batch so the model learns the
+    // fixed cost before committing to large batches.
+    return options_.min_batch;
+  }
+  const double budget =
+      std::max(0.0, options_.target_latency_sec - fixed_sec_);
+  const auto proposal = static_cast<std::size_t>(budget / slope_sec_);
+  return std::clamp(proposal, options_.min_batch, options_.max_batch);
+}
+
+void AdaptiveBatcher::record(std::size_t batch_size, double latency_sec) {
+  RIPPLE_CHECK(batch_size >= 1);
+  RIPPLE_CHECK(latency_sec >= 0);
+  // Decompose the observation: the first sample seeds the fixed cost, then
+  // each observation updates slope from the marginal part and fixed from
+  // the remainder (both EMA-smoothed). This deliberately favors recency:
+  // propagation cost drifts as the graph densifies.
+  const double alpha = options_.ema_alpha;
+  if (samples_ == 0) {
+    fixed_sec_ = latency_sec / 2;
+    slope_sec_ = latency_sec / (2.0 * static_cast<double>(batch_size));
+  } else {
+    const double marginal =
+        std::max(0.0, latency_sec - fixed_sec_) /
+        static_cast<double>(batch_size);
+    slope_sec_ = (1 - alpha) * slope_sec_ + alpha * marginal;
+    const double fixed_obs = std::max(
+        0.0, latency_sec - slope_sec_ * static_cast<double>(batch_size));
+    fixed_sec_ = (1 - alpha) * fixed_sec_ + alpha * fixed_obs;
+  }
+  ++samples_;
+}
+
+bool AdaptiveBatcher::should_flush(double pending_age_sec,
+                                   std::size_t pending) const {
+  if (pending == 0) return false;
+  return pending >= next_batch_size() ||
+         pending_age_sec >= options_.flush_after_sec;
+}
+
+}  // namespace ripple

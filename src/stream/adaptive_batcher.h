@@ -1,0 +1,50 @@
+// Dynamic batch sizing — the paper's §4.1 extension ("this approach can be
+// extended to pick a dynamic batch size based on an elapsed time-period or
+// latency deadlines, and is left as future work").
+//
+// The batcher fits an online linear cost model  latency(b) ≈ fixed + slope·b
+// from observed (batch size, latency) samples (exponential moving averages)
+// and proposes the largest batch expected to meet the latency target —
+// maximizing throughput subject to the application's deadline. A time-based
+// flush deadline covers trickling streams.
+#pragma once
+
+#include <cstddef>
+
+namespace ripple {
+
+class AdaptiveBatcher {
+ public:
+  struct Options {
+    double target_latency_sec = 0.05;  // per-batch deadline
+    std::size_t min_batch = 1;
+    std::size_t max_batch = 4096;
+    double ema_alpha = 0.3;          // smoothing of the cost model
+    double flush_after_sec = 0.25;   // trickle guard: flush by elapsed time
+  };
+
+  AdaptiveBatcher();
+  explicit AdaptiveBatcher(Options options);
+
+  // Batch size to use next, given the current cost model.
+  std::size_t next_batch_size() const;
+
+  // Feed back an observed batch execution.
+  void record(std::size_t batch_size, double latency_sec);
+
+  // Whether a partially filled batch should be flushed because it has been
+  // pending longer than flush_after_sec.
+  bool should_flush(double pending_age_sec, std::size_t pending) const;
+
+  double estimated_fixed_sec() const { return fixed_sec_; }
+  double estimated_slope_sec() const { return slope_sec_; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  Options options_;
+  double fixed_sec_ = 0;   // estimated per-batch overhead
+  double slope_sec_ = 0;   // estimated per-update marginal cost
+  std::size_t samples_ = 0;
+};
+
+}  // namespace ripple

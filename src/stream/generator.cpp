@@ -1,0 +1,109 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace ripple {
+
+std::vector<GraphUpdate> generate_stream(DynamicGraph& graph,
+                                         const StreamConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t n = graph.num_vertices();
+  RIPPLE_CHECK(n > 0);
+
+  // 1. Hold out a fraction of edges; they become the edge-addition pool.
+  auto all_edges = graph.edges();
+  rng.shuffle(all_edges);
+  const auto holdout = static_cast<std::size_t>(
+      static_cast<double>(all_edges.size()) * config.holdout_fraction);
+  std::vector<DynamicGraph::Edge> add_pool(all_edges.begin(),
+                                           all_edges.begin() + holdout);
+  for (const auto& edge : add_pool) {
+    RIPPLE_CHECK(graph.remove_edge(edge.src, edge.dst));
+  }
+  LOG_INFO("stream generator: snapshot has " << graph.num_edges()
+                                             << " edges, holdout " << holdout);
+
+  // 2. Interleave the three kinds. The graph is mutated while generating so
+  //    every emitted update is valid at its position; edge mutations are
+  //    rolled back afterwards so `graph` stays the initial snapshot.
+  const double total_weight =
+      config.add_weight + config.del_weight + config.feature_weight;
+  RIPPLE_CHECK(total_weight > 0);
+  if (config.feature_weight > 0) {
+    RIPPLE_CHECK_MSG(config.feat_dim > 0,
+                     "feat_dim required for feature updates");
+  }
+
+  std::vector<GraphUpdate> stream;
+  stream.reserve(config.num_updates);
+  std::size_t adds_left = std::min(
+      add_pool.size(),
+      static_cast<std::size_t>(static_cast<double>(config.num_updates) *
+                               config.add_weight / total_weight));
+  std::size_t next_add = 0;
+
+  // Edge rollback journal: +1 = we added, -1 = we deleted.
+  struct JournalEntry {
+    int op;  // +1 add, -1 del
+    DynamicGraph::Edge edge;
+  };
+  std::vector<JournalEntry> journal;
+
+  auto pick_random_present_edge = [&](DynamicGraph::Edge* out) -> bool {
+    // Uniform-vertex, uniform-out-edge sampling: slightly biased toward
+    // edges of low-degree sources, which is immaterial for the experiments.
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      const auto degree = graph.out_degree(u);
+      if (degree == 0) continue;
+      const auto& nb = graph.out_neighbors(u)[rng.next_below(degree)];
+      *out = {u, nb.vertex, nb.weight};
+      return true;
+    }
+    return false;
+  };
+
+  while (stream.size() < config.num_updates) {
+    const double add_w = adds_left > next_add ? config.add_weight : 0.0;
+    const double del_w = graph.num_edges() > 0 ? config.del_weight : 0.0;
+    const double feat_w = config.feature_weight;
+    const double sum_w = add_w + del_w + feat_w;
+    if (sum_w <= 0) break;
+    const double r = rng.next_double() * sum_w;
+    if (r < add_w) {
+      const auto& edge = add_pool[next_add++];
+      if (!graph.add_edge(edge.src, edge.dst, edge.weight)) continue;
+      journal.push_back({+1, edge});
+      stream.push_back(GraphUpdate::edge_add(edge.src, edge.dst, edge.weight));
+    } else if (r < add_w + del_w) {
+      DynamicGraph::Edge edge;
+      if (!pick_random_present_edge(&edge)) continue;
+      RIPPLE_CHECK(graph.remove_edge(edge.src, edge.dst));
+      journal.push_back({-1, edge});
+      stream.push_back(GraphUpdate::edge_del(edge.src, edge.dst));
+    } else {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      std::vector<float> features(config.feat_dim);
+      for (auto& f : features) {
+        f = rng.next_float(config.feature_lo, config.feature_hi);
+      }
+      stream.push_back(GraphUpdate::vertex_feature(u, std::move(features)));
+    }
+  }
+
+  // 3. Roll the edge mutations back (reverse order) to restore the snapshot.
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    if (it->op > 0) {
+      RIPPLE_CHECK(graph.remove_edge(it->edge.src, it->edge.dst));
+    } else {
+      RIPPLE_CHECK(graph.add_edge(it->edge.src, it->edge.dst, it->edge.weight));
+    }
+  }
+  return stream;
+}
+
+}  // namespace ripple

@@ -1,0 +1,36 @@
+// Update-stream generation following the paper's evaluation protocol
+// (§7.1.2): a random fraction of edges is held out of the initial snapshot
+// and streamed back as additions, interleaved with random deletions of
+// present edges and random vertex feature updates, in random order with
+// equal proportions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "stream/update.h"
+
+namespace ripple {
+
+struct StreamConfig {
+  std::size_t num_updates = 9000;
+  double holdout_fraction = 0.10;  // edges removed from the snapshot
+  // Relative mix of the three kinds; normalized internally.
+  double add_weight = 1.0;
+  double del_weight = 1.0;
+  double feature_weight = 1.0;
+  std::size_t feat_dim = 0;  // required if feature_weight > 0
+  float feature_lo = -0.5f;
+  float feature_hi = 0.5f;
+  std::uint64_t seed = 2024;
+};
+
+// Mutates `graph` into the initial snapshot (removes the hold-out edges) and
+// returns an update stream that is valid when applied sequentially to that
+// snapshot: additions never duplicate a present edge, deletions always hit a
+// present edge. Deterministic in config.seed.
+std::vector<GraphUpdate> generate_stream(DynamicGraph& graph,
+                                         const StreamConfig& config);
+
+}  // namespace ripple

@@ -1,0 +1,44 @@
+#include "stream/update.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ripple {
+
+const char* update_kind_name(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::edge_add: return "edge_add";
+    case UpdateKind::edge_del: return "edge_del";
+    case UpdateKind::vertex_feature: return "vertex_feature";
+  }
+  return "?";
+}
+
+std::size_t GraphUpdate::wire_bytes() const {
+  // kind + ids + weight, plus the feature payload for vertex updates.
+  return sizeof(UpdateKind) + 2 * sizeof(VertexId) + sizeof(EdgeWeight) +
+         new_features.size() * sizeof(float);
+}
+
+std::string GraphUpdate::to_string() const {
+  std::ostringstream os;
+  os << update_kind_name(kind) << '(' << u;
+  if (is_edge_update()) os << "->" << v;
+  os << ')';
+  return os.str();
+}
+
+std::vector<UpdateBatch> make_batches(std::span<const GraphUpdate> stream,
+                                      std::size_t batch_size) {
+  RIPPLE_CHECK(batch_size > 0);
+  std::vector<UpdateBatch> batches;
+  batches.reserve(stream.size() / batch_size + 1);
+  for (std::size_t off = 0; off < stream.size(); off += batch_size) {
+    batches.push_back(
+        stream.subspan(off, std::min(batch_size, stream.size() - off)));
+  }
+  return batches;
+}
+
+}  // namespace ripple

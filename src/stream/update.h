@@ -1,0 +1,56 @@
+// Streaming graph update model (§4.1): edge additions, edge deletions, and
+// vertex feature changes. Vertex addition/deletion is future work in the
+// paper and is likewise not modeled here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ripple {
+
+enum class UpdateKind : std::uint8_t { edge_add, edge_del, vertex_feature };
+
+const char* update_kind_name(UpdateKind kind);
+
+struct GraphUpdate {
+  UpdateKind kind = UpdateKind::edge_add;
+  VertexId u = kInvalidVertex;  // edge source / updated vertex
+  VertexId v = kInvalidVertex;  // edge sink (edge updates only)
+  EdgeWeight weight = 1.0f;     // edge additions only
+  std::vector<float> new_features;  // vertex_feature only
+
+  static GraphUpdate edge_add(VertexId u, VertexId v, EdgeWeight w = 1.0f) {
+    return {UpdateKind::edge_add, u, v, w, {}};
+  }
+  static GraphUpdate edge_del(VertexId u, VertexId v) {
+    return {UpdateKind::edge_del, u, v, 1.0f, {}};
+  }
+  static GraphUpdate vertex_feature(VertexId u, std::vector<float> features) {
+    return {UpdateKind::vertex_feature, u, kInvalidVertex, 1.0f,
+            std::move(features)};
+  }
+
+  bool is_edge_update() const { return kind != UpdateKind::vertex_feature; }
+
+  // The hop-0 vertex of the propagation tree (§5.2): the source vertex for
+  // edge updates, the updated vertex for feature updates.
+  VertexId hop0_vertex() const { return u; }
+
+  // Serialized size on the wire (distributed leader → worker routing).
+  std::size_t wire_bytes() const;
+
+  std::string to_string() const;
+};
+
+// A view over one batch of a stream.
+using UpdateBatch = std::span<const GraphUpdate>;
+
+// Splits a stream into fixed-size batches (the last one may be short).
+std::vector<UpdateBatch> make_batches(std::span<const GraphUpdate> stream,
+                                      std::size_t batch_size);
+
+}  // namespace ripple

@@ -1,0 +1,24 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ripple {
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (auto& v : m.data_) v = rng.next_float(-bound, bound);
+  return m;
+}
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              float lo, float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.next_float(lo, hi);
+  return m;
+}
+
+}  // namespace ripple

@@ -1,0 +1,90 @@
+// Dense row-major float32 matrix. This is the only tensor type Ripple
+// needs: per-layer embedding tables are (num_vertices x dim) matrices and
+// GNN weights are (in_dim x out_dim) matrices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ripple {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill_value = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill_value) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<float> data) {
+    RIPPLE_CHECK(data.size() == rows * cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  // Xavier/Glorot-uniform initialization, used for untrained model weights.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  // Entries drawn i.i.d. uniform in [lo, hi).
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                               float lo = -1.0f, float hi = 1.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    RIPPLE_CHECK_MSG(r < rows_ && c < cols_,
+                     "index (" << r << ',' << c << ") out of (" << rows_ << ','
+                               << cols_ << ')');
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    RIPPLE_CHECK_MSG(r < rows_ && c < cols_,
+                     "index (" << r << ',' << c << ") out of (" << rows_ << ','
+                               << cols_ << ')');
+    return data_[r * cols_ + c];
+  }
+
+  // Unchecked row views (hot path).
+  std::span<float> row(std::size_t r) {
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const float> row(std::size_t r) const {
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void resize(std::size_t rows, std::size_t cols, float fill_value = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill_value);
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // Memory footprint in bytes (used by the memory-overhead reports).
+  std::size_t bytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ripple

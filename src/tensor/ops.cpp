@@ -1,0 +1,208 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace ripple {
+
+namespace {
+
+// Inner kernel for one row strip of C = A * B.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c.data() + i * n;
+    std::fill(ci, ci + n, 0.0f);
+    const float* ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, ThreadPool* pool) {
+  RIPPLE_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: a is "
+                                             << a.rows() << 'x' << a.cols()
+                                             << ", b is " << b.rows() << 'x'
+                                             << b.cols());
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    c.resize(a.rows(), b.cols());
+  }
+  const std::size_t m = a.rows();
+  if (pool != nullptr && m >= 128) {
+    pool->parallel_for(
+        0, m, [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
+        64);
+  } else {
+    gemm_rows(a, b, c, 0, m);
+  }
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  RIPPLE_CHECK_MSG(a.rows() == b.rows(), "gemm_at_b shape mismatch");
+  const std::size_t m = a.cols();
+  const std::size_t k = a.rows();
+  const std::size_t n = b.cols();
+  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+  c.fill(0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.data() + p * m;
+    const float* bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aip = ap[i];
+      if (aip == 0.0f) continue;
+      float* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  RIPPLE_CHECK_MSG(a.cols() == b.cols(), "gemm_a_bt shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void add_bias_rows(Matrix& dst, const Matrix& bias) {
+  RIPPLE_CHECK(bias.rows() == 1 && bias.cols() == dst.cols());
+  for (std::size_t r = 0; r < dst.rows(); ++r) {
+    vec_add(dst.row(r), bias.row(0));
+  }
+}
+
+void gemv_row(std::span<const float> x, const Matrix& w, std::span<float> y) {
+  RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
+  std::fill(y.begin(), y.end(), 0.0f);
+  gemv_row_accum(x, w, y);
+}
+
+void gemv_row_accum(std::span<const float> x, const Matrix& w,
+                    std::span<float> y) {
+  RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
+  const std::size_t n = w.cols();
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    const float xp = x[p];
+    if (xp == 0.0f) continue;
+    const float* wp = w.data() + p * n;
+    for (std::size_t j = 0; j < n; ++j) y[j] += xp * wp[j];
+  }
+}
+
+void vec_copy(std::span<const float> src, std::span<float> dst) {
+  RIPPLE_CHECK(src.size() == dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void vec_fill(std::span<float> dst, float value) {
+  std::fill(dst.begin(), dst.end(), value);
+}
+
+void vec_add(std::span<float> dst, std::span<const float> src) {
+  RIPPLE_CHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void vec_sub(std::span<float> dst, std::span<const float> src) {
+  RIPPLE_CHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= src[i];
+}
+
+void vec_axpy(std::span<float> dst, float alpha, std::span<const float> src) {
+  RIPPLE_CHECK(src.size() == dst.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += alpha * src[i];
+}
+
+void vec_scale(std::span<float> dst, float alpha) {
+  for (auto& v : dst) v *= alpha;
+}
+
+float vec_dot(std::span<const float> a, std::span<const float> b) {
+  RIPPLE_CHECK(a.size() == b.size());
+  float acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float vec_l2(std::span<const float> a) {
+  return std::sqrt(vec_dot(a, a));
+}
+
+float vec_linf_diff(std::span<const float> a, std::span<const float> b) {
+  RIPPLE_CHECK(a.size() == b.size());
+  float m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+void relu_inplace(Matrix& m) {
+  float* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) p[i] = std::max(0.0f, p[i]);
+}
+
+void relu_row(std::span<float> row) {
+  for (auto& v : row) v = std::max(0.0f, v);
+}
+
+void relu_backward_row(std::span<const float> pre, std::span<float> grad) {
+  RIPPLE_CHECK(pre.size() == grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (pre[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float sum = 0;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = 1.0f / sum;
+    for (auto& v : row) v *= inv;
+  }
+}
+
+std::size_t argmax_row(std::span<const float> row) {
+  RIPPLE_CHECK(!row.empty());
+  return static_cast<std::size_t>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  RIPPLE_CHECK_MSG(a.same_shape(b), "shape mismatch " << a.rows() << 'x'
+                                                      << a.cols() << " vs "
+                                                      << b.rows() << 'x'
+                                                      << b.cols());
+  float m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace ripple

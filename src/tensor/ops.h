@@ -1,0 +1,58 @@
+// Dense kernels: GEMM/GEMV, vector (row) arithmetic, activations, softmax.
+// GEMM is blocked and optionally threaded via the global pool; GEMV serves
+// the per-vertex Update step on Ripple's hot path.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace ripple {
+
+class ThreadPool;
+
+// C = A (m x k) * B (k x n). C is resized. Threaded for large m.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          ThreadPool* pool = nullptr);
+
+// C = A^T (k x m)^T * B (k x n) -> (m x n). Used for weight gradients.
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);
+
+// C = A (m x k) * B^T (n x k)^T -> (m x n). Used for input gradients.
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+// dst (m x n) += broadcast row bias (1 x n) to every row.
+void add_bias_rows(Matrix& dst, const Matrix& bias);
+
+// y (1 x n) = x (1 x k) * W (k x n). y must have size n.
+void gemv_row(std::span<const float> x, const Matrix& w, std::span<float> y);
+
+// y += x * W (row GEMV accumulate).
+void gemv_row_accum(std::span<const float> x, const Matrix& w,
+                    std::span<float> y);
+
+// Row/vector primitives (all spans must have equal length).
+void vec_copy(std::span<const float> src, std::span<float> dst);
+void vec_fill(std::span<float> dst, float value);
+void vec_add(std::span<float> dst, std::span<const float> src);        // dst += src
+void vec_sub(std::span<float> dst, std::span<const float> src);        // dst -= src
+void vec_axpy(std::span<float> dst, float alpha, std::span<const float> src);  // dst += alpha*src
+void vec_scale(std::span<float> dst, float alpha);                     // dst *= alpha
+float vec_dot(std::span<const float> a, std::span<const float> b);
+float vec_l2(std::span<const float> a);
+float vec_linf_diff(std::span<const float> a, std::span<const float> b);
+
+// Activations.
+void relu_inplace(Matrix& m);
+void relu_row(std::span<float> row);
+// dst = relu'(pre_activation) ⊙ dst  (backward helper; pre > 0 mask).
+void relu_backward_row(std::span<const float> pre, std::span<float> grad);
+
+// Row-wise softmax (in place) and cross-entropy loss helpers for training.
+void softmax_rows(Matrix& m);
+std::size_t argmax_row(std::span<const float> row);
+
+// Max |a - b| over all entries; shapes must match.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace ripple

@@ -1,0 +1,78 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  Flags flags;
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  return flags;
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto flags = make_flags({"--batch=100", "--name=reddit-s"});
+  EXPECT_EQ(flags.get_int("batch", 0), 100);
+  EXPECT_EQ(flags.get_string("name", ""), "reddit-s");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto flags = make_flags({"--batch", "250"});
+  EXPECT_EQ(flags.get_int("batch", 0), 250);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const auto flags = make_flags({"--quick"});
+  EXPECT_TRUE(flags.get_bool("quick", false));
+  EXPECT_TRUE(flags.has("quick"));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto flags = make_flags({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_EQ(flags.get_string("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, IntListParsing) {
+  const auto flags = make_flags({"--sizes=1,10,100,1000"});
+  const auto sizes = flags.get_int_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[3], 1000);
+}
+
+TEST(Flags, IntListDefault) {
+  const auto flags = make_flags({});
+  const auto sizes = flags.get_int_list("sizes", {5, 6});
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[1], 6);
+}
+
+TEST(Flags, PositionalArguments) {
+  const auto flags = make_flags({"run", "--batch=1", "now"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "now");
+}
+
+TEST(Flags, DoubleParsing) {
+  const auto flags = make_flags({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 0.25);
+}
+
+TEST(Flags, BoolExplicitFalse) {
+  const auto flags = make_flags({"--verbose=false"});
+  EXPECT_FALSE(flags.get_bool("verbose", true));
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ripple {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.next_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(13);
+  for (std::uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto sample = rng.sample_indices(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (auto idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullRange) {
+  Rng rng(13);
+  auto sample = rng.sample_indices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(13);
+  EXPECT_THROW(rng.sample_indices(5, 6), check_error);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(19);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.25)) ++trues;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,97 @@
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+TEST(Stats, MeanAndMedian) {
+  const std::vector<double> xs = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, PercentileBounds) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 100.0);
+  EXPECT_NEAR(percentile(xs, 0.5), 50.5, 1e-9);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), check_error);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5, 5, 5, 5}), 0.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const auto rendered = table.to_string();
+  EXPECT_NE(rendered.find("| name"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("22222"), std::string::npos);
+  // All lines must have equal width.
+  std::size_t first_line_len = rendered.find('\n');
+  std::size_t pos = 0;
+  while (pos < rendered.size()) {
+    const auto next = rendered.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RejectsWrongWidthRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), check_error);
+}
+
+TEST(TextTable, FormatsSiSuffixes) {
+  EXPECT_EQ(TextTable::fmt_si(28000, 1), "28.0k");
+  EXPECT_EQ(TextTable::fmt_si(1.5e6, 1), "1.5M");
+  EXPECT_EQ(TextTable::fmt_si(3.2e9, 1), "3.2G");
+  EXPECT_EQ(TextTable::fmt_si(12, 1), "12.0");
+}
+
+TEST(Timer, AccumulatesIntervals) {
+  Timer timer;
+  timer.start();
+  timer.stop();
+  timer.start();
+  timer.stop();
+  EXPECT_EQ(timer.count(), 2u);
+  EXPECT_GE(timer.total_sec(), 0.0);
+}
+
+TEST(Timer, ResetClearsState) {
+  Timer timer;
+  timer.start();
+  timer.stop();
+  timer.reset();
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_DOUBLE_EQ(timer.total_sec(), 0.0);
+}
+
+TEST(StopWatch, ElapsedIsMonotone) {
+  StopWatch watch;
+  const double t1 = watch.elapsed_sec();
+  const double t2 = watch.elapsed_sec();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+}  // namespace
+}  // namespace ripple

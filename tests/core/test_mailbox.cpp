@@ -1,0 +1,93 @@
+#include "core/mailbox.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+TEST(Mailbox, EntryCreatedLazily) {
+  Mailbox box(3);
+  EXPECT_TRUE(box.empty());
+  box.entry(5);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.entry(5).delta_agg.size(), 3u);
+}
+
+TEST(Mailbox, AccumulateNewMinusOld) {
+  Mailbox box(2);
+  const std::vector<float> h_new = {3.0f, 4.0f};
+  const std::vector<float> h_old = {1.0f, 1.0f};
+  box.accumulate(0, 1.0f, h_new, h_old);
+  const auto& entry = box.entry(0);
+  EXPECT_TRUE(entry.touched_agg);
+  EXPECT_FLOAT_EQ(entry.delta_agg[0], 2.0f);
+  EXPECT_FLOAT_EQ(entry.delta_agg[1], 3.0f);
+}
+
+TEST(Mailbox, EdgeAddOnlyNewContribution) {
+  Mailbox box(2);
+  const std::vector<float> h_new = {5.0f, -1.0f};
+  box.accumulate(1, 2.0f, h_new, {});
+  EXPECT_FLOAT_EQ(box.entry(1).delta_agg[0], 10.0f);
+  EXPECT_FLOAT_EQ(box.entry(1).delta_agg[1], -2.0f);
+}
+
+TEST(Mailbox, EdgeDeleteOnlyOldRetraction) {
+  Mailbox box(2);
+  const std::vector<float> h_old = {5.0f, -1.0f};
+  box.accumulate(1, 1.0f, {}, h_old);
+  EXPECT_FLOAT_EQ(box.entry(1).delta_agg[0], -5.0f);
+  EXPECT_FLOAT_EQ(box.entry(1).delta_agg[1], 1.0f);
+}
+
+TEST(Mailbox, MessagesCommute) {
+  // Accumulation must be order-invariant (permutation invariance, §4.3.1).
+  const std::vector<float> a_new = {1.0f, 2.0f};
+  const std::vector<float> a_old = {0.5f, 0.5f};
+  const std::vector<float> b_new = {-3.0f, 4.0f};
+  const std::vector<float> b_old = {1.0f, 0.0f};
+  Mailbox ab(2);
+  ab.accumulate(0, 1.0f, a_new, a_old);
+  ab.accumulate(0, 2.0f, b_new, b_old);
+  Mailbox ba(2);
+  ba.accumulate(0, 2.0f, b_new, b_old);
+  ba.accumulate(0, 1.0f, a_new, a_old);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(ab.entry(0).delta_agg[j], ba.entry(0).delta_agg[j], 1e-6f);
+  }
+}
+
+TEST(Mailbox, SelfChannelIndependentOfAgg) {
+  Mailbox box(2);
+  box.mark_self_changed(3);
+  const auto& entry = box.entry(3);
+  EXPECT_TRUE(entry.self_changed);
+  EXPECT_FALSE(entry.touched_agg);
+  EXPECT_FLOAT_EQ(entry.delta_agg[0], 0.0f);
+}
+
+TEST(Mailbox, ClearEmptiesEntries) {
+  Mailbox box(1);
+  box.accumulate(0, 1.0f, std::vector<float>{1.0f}, {});
+  box.accumulate(9, 1.0f, std::vector<float>{2.0f}, {});
+  EXPECT_EQ(box.size(), 2u);
+  box.clear();
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, DimMismatchThrows) {
+  Mailbox box(3);
+  const std::vector<float> wrong = {1.0f, 2.0f};
+  EXPECT_THROW(box.accumulate(0, 1.0f, wrong, {}), check_error);
+}
+
+TEST(Mailbox, BytesGrowWithEntries) {
+  Mailbox box(8);
+  const auto empty_bytes = box.bytes();
+  box.entry(1);
+  box.entry(2);
+  EXPECT_GT(box.bytes(), empty_bytes);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,201 @@
+#include "core/ripple_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace ripple {
+namespace {
+
+TEST(RippleEngine, RejectsNonLinearAggregator) {
+  const auto graph = testing::random_graph(10, 30, 1);
+  const auto features = testing::random_features(10, 4, 2);
+  auto config = workload_config(Workload::gc_s, 4, 2, 2, 4);
+  config.aggregator = AggregatorKind::max;
+  const auto model = GnnModel::random(config, 3);
+  EXPECT_THROW(RippleEngine(model, graph, features), check_error);
+}
+
+TEST(RippleEngine, BootstrapMatchesLayerwise) {
+  const auto graph = testing::random_graph(30, 200, 4);
+  const auto features = testing::random_features(30, 6, 5);
+  for (Workload w : all_workloads()) {
+    const auto config = workload_config(w, 6, 3, 2, 8);
+    const auto model = GnnModel::random(config, 6);
+    RippleEngine engine(model, graph, features);
+    const auto truth = testing::full_inference_truth(model, graph, features);
+    EXPECT_LT(testing::max_store_diff(engine.embeddings(), truth), 1e-4f)
+        << workload_name(w);
+  }
+}
+
+TEST(RippleEngine, AggregateCacheHoldsRawSums) {
+  DynamicGraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const Matrix features = Matrix::from_rows(3, 2, {1, 2, 3, 4, 0, 0});
+  const auto config = workload_config(Workload::gc_m, 2, 2, 1, 4);
+  const auto model = GnnModel::random(config, 7);
+  RippleEngine engine(model, g, features);
+  // Mean aggregator: cache must store the SUM (4, 6), not the mean (2, 3).
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 0), 4.0f);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 1), 6.0f);
+}
+
+TEST(RippleEngine, EdgeAddUpdatesCacheIncrementally) {
+  DynamicGraph g(3);
+  g.add_edge(0, 2);
+  const Matrix features = Matrix::from_rows(3, 2, {1, 2, 3, 4, 0, 0});
+  const auto config = workload_config(Workload::gc_s, 2, 2, 1, 4);
+  const auto model = GnnModel::random(config, 8);
+  RippleEngine engine(model, g, features);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 0), 1.0f);
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(1, 2)};
+  engine.apply_batch(batch);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 0), 4.0f);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 1), 6.0f);
+}
+
+TEST(RippleEngine, EdgeDeleteRetractsContribution) {
+  DynamicGraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const Matrix features = Matrix::from_rows(3, 2, {1, 2, 3, 4, 0, 0});
+  const auto config = workload_config(Workload::gc_s, 2, 2, 1, 4);
+  const auto model = GnnModel::random(config, 9);
+  RippleEngine engine(model, g, features);
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_del(0, 2)};
+  engine.apply_batch(batch);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(engine.aggregate_cache(1).at(2, 1), 4.0f);
+  EXPECT_FALSE(engine.graph().has_edge(0, 2));
+}
+
+TEST(RippleEngine, AddThenDeleteSameBatchIsNetNoop) {
+  auto graph = testing::random_graph(20, 100, 10);
+  const auto features = testing::random_features(20, 5, 11);
+  const auto config = workload_config(Workload::gs_s, 5, 3, 2, 8);
+  const auto model = GnnModel::random(config, 12);
+  RippleEngine engine(model, graph, features);
+  // Find a non-edge.
+  VertexId u = 0;
+  VertexId v = 1;
+  while (graph.has_edge(u, v) || u == v) {
+    v = (v + 1) % 20;
+    if (v == 0) ++u;
+  }
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(u, v),
+                                          GraphUpdate::edge_del(u, v)};
+  engine.apply_batch(batch);
+  const auto truth = testing::full_inference_truth(model, graph, features);
+  EXPECT_LT(testing::max_store_diff(engine.embeddings(), truth), 1e-4f);
+}
+
+TEST(RippleEngine, BatchResultCountsAffectedHops) {
+  auto g = testing::fig4_graph();
+  const auto features = testing::random_features(6, 4, 13);
+  const auto config = workload_config(Workload::gc_s, 4, 2, 3, 4);
+  const auto model = GnnModel::random(config, 14);
+  RippleEngine engine(model, g, features);
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(2, 0)};
+  const auto result = engine.apply_batch(batch);
+  // Fig. 4 (add C->A): hop1 {A}; hop2 {A, B, D} (A stays affected — the new
+  // edge feeds x^2_A); hop3 {A, B, D, E}. Tree size 8, final hop 4.
+  EXPECT_EQ(result.propagation_tree_size, 8u);
+  EXPECT_EQ(result.affected_final, 4u);
+  EXPECT_EQ(result.batch_size, 1u);
+}
+
+TEST(RippleEngine, UpdateThenPropagateSplitOperators) {
+  auto graph = testing::random_graph(25, 120, 15);
+  const auto features = testing::random_features(25, 5, 16);
+  const auto config = workload_config(Workload::gc_s, 5, 3, 2, 8);
+  const auto model = GnnModel::random(config, 17);
+  RippleEngine engine(model, graph, features);
+  const auto edge = graph.edges().front();
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::edge_del(edge.src, edge.dst)};
+  engine.update(batch);
+  // After update(): topology changed, mailboxes seeded, embeddings stale.
+  EXPECT_FALSE(engine.graph().has_edge(edge.src, edge.dst));
+  EXPECT_GT(engine.mailbox(1).size(), 0u);
+  engine.propagate();
+  EXPECT_EQ(engine.mailbox(1).size(), 0u);  // drained
+  auto truth_graph = graph;
+  truth_graph.remove_edge(edge.src, edge.dst);
+  const auto truth =
+      testing::full_inference_truth(model, truth_graph, features);
+  EXPECT_LT(testing::max_store_diff(engine.embeddings(), truth), 1e-4f);
+}
+
+TEST(RippleEngine, FeatureUpdateCommitsAndPropagates) {
+  auto graph = testing::random_graph(15, 60, 18);
+  const auto features = testing::random_features(15, 4, 19);
+  const auto config = workload_config(Workload::gs_s, 4, 2, 2, 6);
+  const auto model = GnnModel::random(config, 20);
+  RippleEngine engine(model, graph, features);
+  std::vector<float> new_feat = {9.0f, -9.0f, 1.0f, 0.5f};
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::vertex_feature(3, new_feat)};
+  engine.apply_batch(batch);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(engine.embeddings().features().at(3, j), new_feat[j]);
+  }
+  Matrix truth_features = features;
+  vec_copy(new_feat, truth_features.row(3));
+  const auto truth =
+      testing::full_inference_truth(model, graph, truth_features);
+  EXPECT_LT(testing::max_store_diff(engine.embeddings(), truth), 1e-4f);
+}
+
+TEST(RippleEngine, FeatureWidthMismatchThrows) {
+  auto graph = testing::random_graph(10, 40, 21);
+  const auto features = testing::random_features(10, 4, 22);
+  const auto config = workload_config(Workload::gc_s, 4, 2, 2, 4);
+  const auto model = GnnModel::random(config, 23);
+  RippleEngine engine(model, graph, features);
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::vertex_feature(0, {1.0f, 2.0f})};  // width 2, expect 4
+  EXPECT_THROW(engine.apply_batch(batch), check_error);
+}
+
+TEST(RippleEngine, IncrementalOpsCounterAdvances) {
+  auto graph = testing::random_graph(20, 120, 24);
+  const auto features = testing::random_features(20, 4, 25);
+  const auto config = workload_config(Workload::gc_s, 4, 2, 2, 6);
+  const auto model = GnnModel::random(config, 26);
+  RippleEngine engine(model, graph, features);
+  const auto before = engine.incremental_ops();
+  const auto edge = graph.edges().front();
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::edge_del(edge.src, edge.dst)};
+  engine.apply_batch(batch);
+  EXPECT_GT(engine.incremental_ops(), before);
+}
+
+TEST(RippleEngine, PruningAblationStaysExactOnRelu) {
+  // With prune_unchanged on, zero deltas (common after ReLU clamping) skip
+  // message sends; results must remain exact because a zero delta carries no
+  // information.
+  auto graph = testing::random_graph(40, 300, 27);
+  const auto features = testing::random_features(40, 6, 28);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 3, 8);
+  const auto model = GnnModel::random(config, 29);
+  RippleOptions options;
+  options.prune_unchanged = true;
+  options.prune_tolerance = 0.0f;
+  RippleEngine engine(model, graph, features, nullptr, options);
+  auto truth_graph = graph;
+  for (int i = 0; i < 20; ++i) {
+    const auto edge = truth_graph.edges()[static_cast<std::size_t>(i * 3)];
+    const std::vector<GraphUpdate> batch = {
+        GraphUpdate::edge_del(edge.src, edge.dst)};
+    engine.apply_batch(batch);
+    truth_graph.remove_edge(edge.src, edge.dst);
+  }
+  const auto truth = testing::full_inference_truth(model, truth_graph, features);
+  EXPECT_LT(testing::max_store_diff(engine.embeddings(), truth), 1e-3f);
+}
+
+}  // namespace
+}  // namespace ripple

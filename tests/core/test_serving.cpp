@@ -1,0 +1,130 @@
+#include "core/serving.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace ripple {
+namespace {
+
+StreamingServer make_server(std::size_t batch_size, bool adaptive = false) {
+  auto graph = testing::random_graph(40, 250, 91);
+  const auto features = testing::random_features(40, 6, 92);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2, 8);
+  const auto model = GnnModel::random(config, 93);
+  StreamingServer::Options options;
+  options.batch_size = batch_size;
+  options.adaptive = adaptive;
+  return StreamingServer(make_engine("ripple", model, graph, features),
+                         options);
+}
+
+TEST(StreamingServer, BuffersUntilBatchFull) {
+  auto server = make_server(3);
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(0, 5)), 0u);
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 6)), 0u);
+  // Third submit fills the batch and applies all three.
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(2, 7)), 3u);
+  EXPECT_EQ(server.stats().batches_processed, 1u);
+  EXPECT_EQ(server.stats().updates_processed, 3u);
+}
+
+TEST(StreamingServer, FlushAppliesPartialBatch) {
+  auto server = make_server(100);
+  server.submit(GraphUpdate::edge_add(0, 5));
+  server.submit(GraphUpdate::edge_add(1, 6));
+  EXPECT_EQ(server.flush(), 2u);
+  EXPECT_EQ(server.flush(), 0u);  // nothing pending
+}
+
+TEST(StreamingServer, LabelLookupTracksEngine) {
+  auto server = make_server(1);
+  for (VertexId v = 0; v < 40; ++v) {
+    EXPECT_EQ(server.label(v), server.engine().embeddings().predicted_label(v));
+  }
+}
+
+TEST(StreamingServer, CallbackFiresOnLabelFlips) {
+  auto graph = testing::random_graph(30, 200, 94);
+  const auto features = testing::random_features(30, 6, 95);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2, 8);
+  const auto model = GnnModel::random(config, 96);
+  StreamingServer::Options options;
+  options.batch_size = 5;
+  StreamingServer server(make_engine("ripple", model, graph, features),
+                         options);
+  std::size_t notified = 0;
+  server.set_label_callback(
+      [&](VertexId, std::uint32_t old_label, std::uint32_t new_label) {
+        EXPECT_NE(old_label, new_label);
+        ++notified;
+      });
+  // Churn enough topology that some label flips occur.
+  Rng rng(97);
+  for (int i = 0; i < 60; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(30));
+    const auto v = static_cast<VertexId>(rng.next_below(30));
+    if (u == v) continue;
+    server.submit(GraphUpdate::edge_add(u, v));
+  }
+  server.flush();
+  EXPECT_EQ(notified, server.stats().label_changes);
+  EXPECT_GT(server.stats().updates_processed, 0u);
+}
+
+TEST(StreamingServer, LabelsStayConsistentWithGroundTruth) {
+  auto graph = testing::random_graph(25, 150, 98);
+  const auto features = testing::random_features(25, 5, 99);
+  const auto config = workload_config(Workload::gs_s, 5, 3, 2, 8);
+  const auto model = GnnModel::random(config, 100);
+  StreamingServer::Options options;
+  options.batch_size = 4;
+  StreamingServer server(make_engine("ripple", model, graph, features),
+                         options);
+  auto truth_graph = graph;
+  Rng rng(101);
+  for (int i = 0; i < 24; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(25));
+    const auto v = static_cast<VertexId>(rng.next_below(25));
+    if (u == v) continue;
+    if (truth_graph.has_edge(u, v)) {
+      server.submit(GraphUpdate::edge_del(u, v));
+      truth_graph.remove_edge(u, v);
+    } else {
+      server.submit(GraphUpdate::edge_add(u, v));
+      truth_graph.add_edge(u, v);
+    }
+  }
+  server.flush();
+  const auto truth = testing::full_inference_truth(model, truth_graph,
+                                                   features);
+  for (VertexId v = 0; v < 25; ++v) {
+    EXPECT_EQ(server.label(v), argmax_row(truth.logits().row(v))) << v;
+  }
+}
+
+TEST(StreamingServer, AdaptiveModeAppliesEverything) {
+  auto server = make_server(1, /*adaptive=*/true);
+  for (int i = 0; i < 20; ++i) {
+    server.submit(GraphUpdate::edge_add(static_cast<VertexId>(i % 10),
+                                        static_cast<VertexId>(20 + i % 10)));
+  }
+  server.flush();
+  EXPECT_EQ(server.stats().updates_processed, 20u);
+  EXPECT_GT(server.stats().batches_processed, 0u);
+}
+
+TEST(StreamingServer, WorksWithRecomputeEngineToo) {
+  auto graph = testing::random_graph(20, 100, 102);
+  const auto features = testing::random_features(20, 4, 103);
+  const auto config = workload_config(Workload::gc_s, 4, 2, 2, 6);
+  const auto model = GnnModel::random(config, 104);
+  StreamingServer::Options options;
+  options.batch_size = 2;
+  StreamingServer server(make_engine("rc", model, graph, features), options);
+  server.submit(GraphUpdate::edge_add(0, 10));
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 11)), 2u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,78 @@
+#include "device/accelerator.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+ModelConfig config_3l() {
+  return workload_config(Workload::gc_s, 128, 40, 3, 64);
+}
+
+BatchResult cpu_result(double propagate_sec, std::size_t tree) {
+  BatchResult result;
+  result.propagate_sec = propagate_sec;
+  result.propagation_tree_size = tree;
+  return result;
+}
+
+TEST(Accelerator, LargeKernelsBenefit) {
+  // A propagate phase that takes seconds on CPU: the device speedup should
+  // dominate launch/transfer overheads.
+  const AcceleratorModel accel;
+  const auto cpu = cpu_result(2.0, 50'000);
+  const double gpu = model_layerwise_accel_sec(accel, cpu, config_3l());
+  EXPECT_LT(gpu, cpu.propagate_sec);
+}
+
+TEST(Accelerator, TinyKernelsDoNotBenefit) {
+  // The paper's core GPU observation: small per-batch kernels are dominated
+  // by launch + transfer, so the device can be SLOWER than CPU.
+  const AcceleratorModel accel;
+  const auto cpu = cpu_result(100e-6, 50);  // 100 µs of CPU propagate
+  const double gpu = model_layerwise_accel_sec(accel, cpu, config_3l());
+  EXPECT_GT(gpu, cpu.propagate_sec * 0.9);
+}
+
+TEST(Accelerator, VertexWisePaysPerNodeLaunches) {
+  // Vertex-wise issues a kernel pair per tree node; at the same CPU time
+  // and tree size it must cost at least as much as the layer-wise model
+  // with its 3 kernels per hop.
+  const AcceleratorModel accel;
+  const auto cpu = cpu_result(0.01, 5000);
+  const double vw = model_vertexwise_accel_sec(accel, cpu, config_3l());
+  const double lw = model_layerwise_accel_sec(accel, cpu, config_3l());
+  EXPECT_GT(vw, lw);
+}
+
+TEST(Accelerator, CostsScaleWithTreeSize) {
+  const AcceleratorModel accel;
+  const double small = model_layerwise_accel_sec(accel, cpu_result(0.01, 100),
+                                                 config_3l());
+  const double large = model_layerwise_accel_sec(
+      accel, cpu_result(0.01, 100'000), config_3l());
+  EXPECT_GT(large, small);
+}
+
+TEST(Accelerator, SpeedupParameterMatters) {
+  AcceleratorModel fast;
+  fast.compute_speedup = 100.0;
+  AcceleratorModel slow;
+  slow.compute_speedup = 2.0;
+  const auto cpu = cpu_result(1.0, 10'000);
+  EXPECT_LT(model_layerwise_accel_sec(fast, cpu, config_3l()),
+            model_layerwise_accel_sec(slow, cpu, config_3l()));
+}
+
+TEST(Accelerator, ZeroWorkCostsOnlyOverheads) {
+  const AcceleratorModel accel;
+  const double cost =
+      model_layerwise_accel_sec(accel, cpu_result(0.0, 0), config_3l());
+  // 9 kernel launches + 6 transfers of latency each.
+  const double expected = 9 * accel.kernel_launch_sec +
+                          6 * accel.transfer_latency_sec;
+  EXPECT_NEAR(cost, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,182 @@
+#include "gnn/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+namespace {
+
+Matrix embeddings_3x2() {
+  return Matrix::from_rows(3, 2, {1.0f, 2.0f,    // v0
+                                  3.0f, 4.0f,    // v1
+                                  -5.0f, 6.0f}); // v2
+}
+
+TEST(Aggregator, Names) {
+  EXPECT_STREQ(aggregator_name(AggregatorKind::sum), "sum");
+  EXPECT_EQ(aggregator_from_name("mean"), AggregatorKind::mean);
+  EXPECT_EQ(aggregator_from_name("weighted_sum"),
+            AggregatorKind::weighted_sum);
+  EXPECT_THROW(aggregator_from_name("median"), check_error);
+}
+
+TEST(Aggregator, LinearityClassification) {
+  EXPECT_TRUE(is_linear(AggregatorKind::sum));
+  EXPECT_TRUE(is_linear(AggregatorKind::mean));
+  EXPECT_TRUE(is_linear(AggregatorKind::weighted_sum));
+  EXPECT_FALSE(is_linear(AggregatorKind::max));
+  EXPECT_FALSE(is_linear(AggregatorKind::min));
+}
+
+TEST(Aggregator, SumOverNeighbors) {
+  const auto h = embeddings_3x2();
+  const std::vector<Neighbor> nbrs = {{0, 1.0f}, {2, 1.0f}};
+  std::vector<float> out(2);
+  aggregate_neighbors(AggregatorKind::sum, nbrs, h, out);
+  EXPECT_FLOAT_EQ(out[0], -4.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+TEST(Aggregator, MeanDividesByCount) {
+  const auto h = embeddings_3x2();
+  const std::vector<Neighbor> nbrs = {{0, 1.0f}, {1, 1.0f}};
+  std::vector<float> out(2);
+  aggregate_neighbors(AggregatorKind::mean, nbrs, h, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+}
+
+TEST(Aggregator, WeightedSumUsesEdgeWeights) {
+  const auto h = embeddings_3x2();
+  const std::vector<Neighbor> nbrs = {{0, 2.0f}, {1, 0.5f}};
+  std::vector<float> out(2);
+  aggregate_neighbors(AggregatorKind::weighted_sum, nbrs, h, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f * 1.0f + 0.5f * 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f * 2.0f + 0.5f * 4.0f);
+}
+
+TEST(Aggregator, MaxAndMinElementwise) {
+  const auto h = embeddings_3x2();
+  const std::vector<Neighbor> nbrs = {{0, 1.0f}, {1, 1.0f}, {2, 1.0f}};
+  std::vector<float> out(2);
+  aggregate_neighbors(AggregatorKind::max, nbrs, h, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 6.0f);
+  aggregate_neighbors(AggregatorKind::min, nbrs, h, out);
+  EXPECT_FLOAT_EQ(out[0], -5.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(Aggregator, EmptyNeighborhoodYieldsZeros) {
+  const auto h = embeddings_3x2();
+  std::vector<float> out = {9.0f, 9.0f};
+  for (auto kind : {AggregatorKind::sum, AggregatorKind::mean,
+                    AggregatorKind::weighted_sum, AggregatorKind::max}) {
+    aggregate_neighbors(kind, {}, h, out);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+  }
+}
+
+// Linearity property: agg(a*h) == a*agg(h) and additivity in contributions.
+TEST(Aggregator, SumLinearityProperty) {
+  Rng rng(5);
+  const auto h = Matrix::random_uniform(10, 4, rng);
+  Matrix h_scaled = h;
+  for (std::size_t i = 0; i < h_scaled.size(); ++i) h_scaled.data()[i] *= 3.0f;
+  const std::vector<Neighbor> nbrs = {{1, 1.0f}, {4, 1.0f}, {7, 1.0f}};
+  std::vector<float> out(4);
+  std::vector<float> out_scaled(4);
+  aggregate_neighbors(AggregatorKind::sum, nbrs, h, out);
+  aggregate_neighbors(AggregatorKind::sum, nbrs, h_scaled, out_scaled);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out_scaled[j], 3.0f * out[j], 1e-4f);
+  }
+}
+
+// Incrementality property underpinning Ripple: updating one neighbor's
+// embedding shifts the sum by exactly the delta.
+TEST(Aggregator, SumIncrementalDeltaProperty) {
+  Rng rng(6);
+  Matrix h = Matrix::random_uniform(6, 3, rng);
+  const std::vector<Neighbor> nbrs = {{0, 1.0f}, {2, 1.0f}, {5, 1.0f}};
+  std::vector<float> before(3);
+  aggregate_neighbors(AggregatorKind::sum, nbrs, h, before);
+  std::vector<float> delta = {0.5f, -1.0f, 2.0f};
+  for (std::size_t j = 0; j < 3; ++j) h.at(2, j) += delta[j];
+  std::vector<float> after(3);
+  aggregate_neighbors(AggregatorKind::sum, nbrs, h, after);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(after[j], before[j] + delta[j], 1e-5f);
+  }
+}
+
+TEST(Aggregator, AggregateAllMatchesPerVertex) {
+  Rng rng(7);
+  DynamicGraph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(3, 4);
+  g.add_edge(1, 4);
+  g.add_edge(4, 0);
+  const auto h = Matrix::random_uniform(8, 5, rng);
+  Matrix all;
+  aggregate_all(AggregatorKind::sum, g, h, all);
+  std::vector<float> row(5);
+  for (VertexId v = 0; v < 8; ++v) {
+    aggregate_neighbors(AggregatorKind::sum, g.in_neighbors(v), h, row);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(all.at(v, j), row[j]);
+    }
+  }
+}
+
+TEST(Aggregator, AggregateAllOnCsrMatchesDynamic) {
+  Rng rng(8);
+  DynamicGraph g(10);
+  for (int i = 0; i < 25; ++i) {
+    g.add_edge(static_cast<VertexId>(rng.next_below(10)),
+               static_cast<VertexId>(rng.next_below(10)));
+  }
+  const auto csr = Csr::from_graph(g);
+  const auto h = Matrix::random_uniform(10, 4, rng);
+  Matrix a;
+  Matrix b;
+  aggregate_all(AggregatorKind::mean, g, h, a);
+  aggregate_all(AggregatorKind::mean, csr, h, b);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6f);
+}
+
+// Transpose aggregation is the adjoint: <A h, g> == <h, A^T g>.
+TEST(Aggregator, TransposeIsAdjoint) {
+  Rng rng(9);
+  DynamicGraph g(12);
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(12));
+    const auto v = static_cast<VertexId>(rng.next_below(12));
+    if (u != v) g.add_edge(u, v, rng.next_float(0.2f, 1.5f));
+  }
+  const auto h = Matrix::random_uniform(12, 3, rng);
+  const auto grad = Matrix::random_uniform(12, 3, rng);
+  for (auto kind : {AggregatorKind::sum, AggregatorKind::mean,
+                    AggregatorKind::weighted_sum}) {
+    Matrix ah;
+    aggregate_all(kind, g, h, ah);
+    Matrix atg(12, 3);
+    aggregate_all_transpose(kind, g, grad, atg);
+    double lhs = 0;
+    double rhs = 0;
+    for (std::size_t i = 0; i < ah.size(); ++i) {
+      lhs += static_cast<double>(ah.data()[i]) * grad.data()[i];
+      rhs += static_cast<double>(h.data()[i]) * atg.data()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2) << aggregator_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,122 @@
+#include "gnn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  Matrix logits(4, 5, 0.0f);
+  const std::vector<std::uint32_t> labels = {0, 1, 2, 3};
+  const std::vector<std::uint8_t> mask(4, 1);
+  const double loss = softmax_cross_entropy(logits, labels, mask, nullptr);
+  EXPECT_NEAR(loss, std::log(5.0), 1e-5);
+}
+
+TEST(Loss, PerfectPredictionLowLoss) {
+  Matrix logits(2, 3, 0.0f);
+  logits.at(0, 1) = 50.0f;
+  logits.at(1, 2) = 50.0f;
+  const std::vector<std::uint32_t> labels = {1, 2};
+  const std::vector<std::uint8_t> mask(2, 1);
+  EXPECT_LT(softmax_cross_entropy(logits, labels, mask, nullptr), 1e-4);
+}
+
+TEST(Loss, MaskExcludesRows) {
+  Matrix logits(2, 3, 0.0f);
+  logits.at(0, 0) = 100.0f;  // catastrophically wrong for label 2
+  const std::vector<std::uint32_t> labels = {2, 1};
+  const std::vector<std::uint8_t> mask = {0, 1};
+  const double loss = softmax_cross_entropy(logits, labels, mask, nullptr);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-5);  // only the uniform row counts
+}
+
+TEST(Loss, GradientIsSoftmaxMinusOneHot) {
+  Matrix logits = Matrix::from_rows(1, 3, {1.0f, 2.0f, 0.5f});
+  const std::vector<std::uint32_t> labels = {1};
+  const std::vector<std::uint8_t> mask = {1};
+  Matrix grad;
+  softmax_cross_entropy(logits, labels, mask, &grad);
+  Matrix probs = logits;
+  softmax_rows(probs);
+  EXPECT_NEAR(grad.at(0, 0), probs.at(0, 0), 1e-5);
+  EXPECT_NEAR(grad.at(0, 1), probs.at(0, 1) - 1.0f, 1e-5);
+  EXPECT_NEAR(grad.at(0, 2), probs.at(0, 2), 1e-5);
+}
+
+TEST(Loss, GradientNumericalCheck) {
+  Rng rng(3);
+  Matrix logits = Matrix::random_uniform(3, 4, rng);
+  const std::vector<std::uint32_t> labels = {2, 0, 3};
+  const std::vector<std::uint8_t> mask = {1, 1, 1};
+  Matrix grad;
+  const double base = softmax_cross_entropy(logits, labels, mask, &grad);
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      Matrix bumped = logits;
+      bumped.at(r, c) += eps;
+      const double up = softmax_cross_entropy(bumped, labels, mask, nullptr);
+      const double numeric = (up - base) / eps;
+      EXPECT_NEAR(numeric, grad.at(r, c), 5e-3);
+    }
+  }
+}
+
+TEST(Loss, EmptyMaskIsZero) {
+  Matrix logits(2, 3, 1.0f);
+  const std::vector<std::uint32_t> labels = {0, 1};
+  const std::vector<std::uint8_t> mask = {0, 0};
+  EXPECT_DOUBLE_EQ(softmax_cross_entropy(logits, labels, mask, nullptr), 0.0);
+}
+
+TEST(Loss, OutOfRangeLabelThrows) {
+  Matrix logits(1, 3, 0.0f);
+  const std::vector<std::uint32_t> labels = {3};
+  const std::vector<std::uint8_t> mask = {1};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels, mask, nullptr),
+               check_error);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Matrix logits(3, 2, 0.0f);
+  logits.at(0, 1) = 1.0f;  // predicts 1
+  logits.at(1, 0) = 1.0f;  // predicts 0
+  logits.at(2, 1) = 1.0f;  // predicts 1
+  const std::vector<std::uint32_t> labels = {1, 1, 1};
+  const std::vector<std::uint8_t> mask = {1, 1, 1};
+  EXPECT_NEAR(accuracy(logits, labels, mask), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, MaskFilters) {
+  Matrix logits(2, 2, 0.0f);
+  logits.at(0, 0) = 1.0f;
+  logits.at(1, 0) = 1.0f;
+  const std::vector<std::uint32_t> labels = {0, 1};
+  const std::vector<std::uint8_t> mask = {1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels, mask), 1.0);
+}
+
+TEST(LabelAgreement, IdenticalIsOne) {
+  Rng rng(4);
+  const auto logits = Matrix::random_uniform(5, 3, rng);
+  EXPECT_DOUBLE_EQ(label_agreement(logits, logits), 1.0);
+}
+
+TEST(LabelAgreement, DetectsFlips) {
+  Matrix a(2, 2, 0.0f);
+  a.at(0, 0) = 1.0f;
+  a.at(1, 0) = 1.0f;
+  Matrix b(2, 2, 0.0f);
+  b.at(0, 0) = 1.0f;
+  b.at(1, 1) = 1.0f;
+  EXPECT_DOUBLE_EQ(label_agreement(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,120 @@
+#include "gnn/model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ripple {
+namespace {
+
+TEST(Model, WorkloadNamesRoundTrip) {
+  for (Workload w : all_workloads()) {
+    EXPECT_EQ(workload_from_name(workload_name(w)), w);
+  }
+  EXPECT_THROW(workload_from_name("GAT"), check_error);
+}
+
+TEST(Model, WorkloadConfigsMatchPaperTable) {
+  const auto gc_s = workload_config(Workload::gc_s, 16, 4, 2);
+  EXPECT_EQ(gc_s.layer_kind, LayerKind::graph_conv);
+  EXPECT_EQ(gc_s.aggregator, AggregatorKind::sum);
+  const auto gs_s = workload_config(Workload::gs_s, 16, 4, 2);
+  EXPECT_EQ(gs_s.layer_kind, LayerKind::sage);
+  const auto gc_m = workload_config(Workload::gc_m, 16, 4, 2);
+  EXPECT_EQ(gc_m.aggregator, AggregatorKind::mean);
+  const auto gi_s = workload_config(Workload::gi_s, 16, 4, 2);
+  EXPECT_EQ(gi_s.layer_kind, LayerKind::gin);
+  const auto gc_w = workload_config(Workload::gc_w, 16, 4, 2);
+  EXPECT_EQ(gc_w.aggregator, AggregatorKind::weighted_sum);
+}
+
+TEST(Model, LayerDimensionPlan) {
+  ModelConfig config = workload_config(Workload::gc_s, 100, 7, 3, 32);
+  EXPECT_EQ(config.layer_in_dim(0), 100u);
+  EXPECT_EQ(config.layer_out_dim(0), 32u);
+  EXPECT_EQ(config.layer_in_dim(1), 32u);
+  EXPECT_EQ(config.layer_out_dim(1), 32u);
+  EXPECT_EQ(config.layer_in_dim(2), 32u);
+  EXPECT_EQ(config.layer_out_dim(2), 7u);
+  EXPECT_EQ(config.embedding_dim(0), 100u);
+  EXPECT_EQ(config.embedding_dim(1), 32u);
+  EXPECT_EQ(config.embedding_dim(2), 32u);
+  EXPECT_EQ(config.embedding_dim(3), 7u);
+}
+
+TEST(Model, SingleLayerDims) {
+  ModelConfig config = workload_config(Workload::gc_s, 10, 3, 1);
+  EXPECT_EQ(config.layer_in_dim(0), 10u);
+  EXPECT_EQ(config.layer_out_dim(0), 3u);
+}
+
+TEST(Model, RandomModelShapes) {
+  const auto config = workload_config(Workload::gs_s, 12, 5, 3, 8);
+  const auto model = GnnModel::random(config);
+  EXPECT_EQ(model.num_layers(), 3u);
+  EXPECT_EQ(model.layer(0).in_dim(), 12u);
+  EXPECT_EQ(model.layer(2).out_dim(), 5u);
+  EXPECT_GT(model.num_parameters(), 0u);
+}
+
+TEST(Model, RandomModelDeterministicInSeed) {
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2);
+  const auto a = GnnModel::random(config, 11);
+  const auto b = GnnModel::random(config, 11);
+  const auto& wa = std::get<GraphConvParams>(a.layer(0).params()).weight;
+  const auto& wb = std::get<GraphConvParams>(b.layer(0).params()).weight;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_FLOAT_EQ(wa.data()[i], wb.data()[i]);
+  }
+}
+
+TEST(Model, ActivationPlanReluExceptLast) {
+  const auto config = workload_config(Workload::gc_s, 6, 3, 3);
+  const auto model = GnnModel::random(config);
+  EXPECT_TRUE(model.has_activation(0));
+  EXPECT_TRUE(model.has_activation(1));
+  EXPECT_FALSE(model.has_activation(2));
+  std::vector<float> row = {-1.0f, 2.0f};
+  model.apply_activation_row(0, row);
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+  std::vector<float> logits = {-1.0f, 2.0f};
+  model.apply_activation_row(2, logits);
+  EXPECT_FLOAT_EQ(logits[0], -1.0f);  // output layer keeps raw logits
+}
+
+TEST(EmbeddingStoreTest, ShapesFollowConfig) {
+  const auto config = workload_config(Workload::gc_s, 10, 4, 2, 8);
+  EmbeddingStore store(config, 25);
+  EXPECT_EQ(store.num_layers(), 2u);
+  EXPECT_EQ(store.num_vertices(), 25u);
+  EXPECT_EQ(store.features().cols(), 10u);
+  EXPECT_EQ(store.layer(1).cols(), 8u);
+  EXPECT_EQ(store.logits().cols(), 4u);
+}
+
+TEST(EmbeddingStoreTest, PredictedLabelIsArgmax) {
+  const auto config = workload_config(Workload::gc_s, 4, 3, 1);
+  EmbeddingStore store(config, 2);
+  store.logits().at(0, 1) = 5.0f;
+  store.logits().at(1, 2) = 3.0f;
+  EXPECT_EQ(store.predicted_label(0), 1u);
+  EXPECT_EQ(store.predicted_label(1), 2u);
+}
+
+TEST(EmbeddingStoreTest, BytesSumsLayers) {
+  const auto config = workload_config(Workload::gc_s, 4, 3, 2, 8);
+  EmbeddingStore store(config, 10);
+  // (4 + 8 + 3) floats per vertex * 10 vertices * 4 bytes.
+  EXPECT_EQ(store.bytes(), (4u + 8u + 3u) * 10u * 4u);
+}
+
+TEST(Model, MismatchedLayerStackRejected) {
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2);
+  Rng rng(1);
+  std::vector<GnnLayer> wrong;
+  wrong.push_back(GnnLayer::random(LayerKind::graph_conv, 6, 64, rng));
+  EXPECT_THROW(GnnModel(config, std::move(wrong)), check_error);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,74 @@
+#include "gnn/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ripple {
+namespace {
+
+DynamicGraph star_graph(std::size_t spokes) {
+  DynamicGraph g(spokes + 1);
+  for (VertexId v = 1; v <= spokes; ++v) {
+    g.add_edge(v, 0);  // spokes point at the hub
+  }
+  return g;
+}
+
+TEST(Sampler, FanoutZeroReturnsAll) {
+  const auto g = star_graph(10);
+  NeighborSampler sampler(1);
+  const auto nbrs = sampler.sample_in(g, 0, 0);
+  EXPECT_EQ(nbrs.size(), 10u);
+}
+
+TEST(Sampler, FanoutAboveDegreeReturnsAll) {
+  const auto g = star_graph(5);
+  NeighborSampler sampler(2);
+  EXPECT_EQ(sampler.sample_in(g, 0, 50).size(), 5u);
+}
+
+TEST(Sampler, FanoutLimitsAndDistinct) {
+  const auto g = star_graph(40);
+  NeighborSampler sampler(3);
+  const auto nbrs = sampler.sample_in(g, 0, 8);
+  EXPECT_EQ(nbrs.size(), 8u);
+  std::set<VertexId> unique;
+  for (const auto& nb : nbrs) {
+    unique.insert(nb.vertex);
+    EXPECT_GE(nb.vertex, 1u);
+    EXPECT_LE(nb.vertex, 40u);
+  }
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Sampler, ZeroDegreeVertexYieldsEmpty) {
+  const auto g = star_graph(4);
+  NeighborSampler sampler(4);
+  EXPECT_TRUE(sampler.sample_in(g, 2, 3).empty());  // spokes have no in-edges
+}
+
+TEST(Sampler, DeterministicPerSeed) {
+  const auto g = star_graph(30);
+  NeighborSampler a(7);
+  NeighborSampler b(7);
+  const auto sa = a.sample_in(g, 0, 5);
+  const auto sb = b.sample_in(g, 0, 5);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].vertex, sb[i].vertex);
+  }
+}
+
+TEST(Sampler, CoversAllNeighborsEventually) {
+  const auto g = star_graph(6);
+  NeighborSampler sampler(9);
+  std::set<VertexId> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const auto& nb : sampler.sample_in(g, 0, 2)) seen.insert(nb.vertex);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // uniform sampling touches every spoke
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,78 @@
+#include "gnn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace ripple {
+namespace {
+
+TrainConfig quick_config(std::size_t epochs = 60) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.learning_rate = 1e-2;
+  config.train_fraction = 0.6;
+  config.seed = 5;
+  return config;
+}
+
+// Parameterized over the layer families: training on an SBM community task
+// must beat chance by a wide margin (the graph is strongly assortative and
+// features carry class prototypes).
+class TrainerWorkloads : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(TrainerWorkloads, LearnsSbmCommunities) {
+  const auto ds = build_sbm_dataset(300, 4, 12, 8.0, 8.0, 1.0, 21);
+  auto config =
+      workload_config(GetParam(), ds.spec.feat_dim, ds.spec.num_classes, 2, 16);
+  auto model = GnnModel::random(config, 3);
+  const auto result =
+      train_full_batch(model, ds.graph, ds.features, ds.labels, quick_config());
+  EXPECT_GT(result.test_accuracy, 0.55) << workload_name(GetParam());
+  EXPECT_GT(result.train_accuracy, 0.6) << workload_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TrainerWorkloads,
+                         ::testing::Values(Workload::gc_s, Workload::gs_s,
+                                           Workload::gc_m, Workload::gi_s,
+                                           Workload::gc_w),
+                         [](const auto& info) {
+                           std::string name = workload_name(info.param);
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Trainer, LossDecreases) {
+  const auto ds = build_sbm_dataset(200, 3, 8, 6.0, 8.0, 1.0, 22);
+  auto config = workload_config(Workload::gs_s, 8, 3, 2, 12);
+  auto model = GnnModel::random(config, 4);
+  const auto result =
+      train_full_batch(model, ds.graph, ds.features, ds.labels, quick_config(40));
+  ASSERT_GE(result.loss_history.size(), 2u);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front() * 0.8);
+}
+
+TEST(Trainer, RejectsNonLinearAggregator) {
+  const auto ds = build_sbm_dataset(50, 2, 4, 4.0);
+  auto config = workload_config(Workload::gc_s, 4, 2, 2, 8);
+  config.aggregator = AggregatorKind::max;
+  auto model = GnnModel::random(config, 1);
+  EXPECT_THROW(
+      train_full_batch(model, ds.graph, ds.features, ds.labels, quick_config(1)),
+      check_error);
+}
+
+TEST(Trainer, TrainingBeatsRandomInit) {
+  const auto ds = build_sbm_dataset(250, 4, 10, 8.0, 8.0, 1.0, 23);
+  auto config = workload_config(Workload::gc_s, 10, 4, 2, 16);
+  auto trained = GnnModel::random(config, 6);
+  const auto result = train_full_batch(trained, ds.graph, ds.features,
+                                       ds.labels, quick_config());
+  // Untrained model accuracy is near chance (1/4).
+  EXPECT_GT(result.test_accuracy, 0.45);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,70 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+namespace {
+
+TEST(Csr, MirrorsDynamicGraph) {
+  DynamicGraph g(5);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(2, 1, 2.0f);
+  g.add_edge(1, 3, 3.0f);
+  g.add_edge(4, 0, 4.0f);
+  const Csr csr = Csr::from_graph(g);
+  EXPECT_EQ(csr.num_vertices(), 5u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(csr.in_degree(v), g.in_degree(v));
+    EXPECT_EQ(csr.out_degree(v), g.out_degree(v));
+  }
+  // In-neighbors of 1 are {0, 2} with their weights.
+  auto in1 = csr.in_neighbors(1);
+  std::vector<VertexId> ids;
+  for (const auto& nb : in1) ids.push_back(nb.vertex);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(Csr, EmptyGraph) {
+  DynamicGraph g(3);
+  const Csr csr = Csr::from_graph(g);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_TRUE(csr.in_neighbors(0).empty());
+  EXPECT_TRUE(csr.out_neighbors(2).empty());
+}
+
+TEST(Csr, PreservesWeights) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1, 0.25f);
+  const Csr csr = Csr::from_graph(g);
+  EXPECT_FLOAT_EQ(csr.in_neighbors(1)[0].weight, 0.25f);
+  EXPECT_FLOAT_EQ(csr.out_neighbors(0)[0].weight, 0.25f);
+}
+
+TEST(Csr, RebuildReflectsMutation) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  Csr csr = Csr::from_graph(g);
+  EXPECT_EQ(csr.num_edges(), 1u);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  csr = Csr::from_graph(g);
+  EXPECT_EQ(csr.num_edges(), 1u);
+  EXPECT_EQ(csr.out_neighbors(1)[0].vertex, 2u);
+  EXPECT_TRUE(csr.in_neighbors(1).empty());
+}
+
+TEST(Csr, BytesNonZeroForNonEmpty) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  const Csr csr = Csr::from_graph(g);
+  EXPECT_GT(csr.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ripple

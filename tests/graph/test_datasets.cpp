@@ -1,0 +1,97 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace ripple {
+namespace {
+
+TEST(Datasets, RegistryHasAllFourAnalogues) {
+  const auto& registry = dataset_registry();
+  ASSERT_EQ(registry.size(), 4u);
+  EXPECT_NO_THROW(find_dataset_spec("arxiv-s"));
+  EXPECT_NO_THROW(find_dataset_spec("reddit-s"));
+  EXPECT_NO_THROW(find_dataset_spec("products-s"));
+  EXPECT_NO_THROW(find_dataset_spec("papers-s"));
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(find_dataset_spec("twitter"), check_error);
+  EXPECT_THROW(build_dataset("nope", 0.1), check_error);
+}
+
+TEST(Datasets, SpecsMatchPaperTable3) {
+  const auto& arxiv = find_dataset_spec("arxiv-s");
+  EXPECT_EQ(arxiv.feat_dim, 128u);
+  EXPECT_EQ(arxiv.num_classes, 40u);
+  EXPECT_NEAR(arxiv.paper_avg_in_degree, 6.9, 0.01);
+  const auto& papers = find_dataset_spec("papers-s");
+  EXPECT_EQ(papers.num_classes, 172u);
+  EXPECT_EQ(papers.paper_vertices, 111'059'956u);
+}
+
+TEST(Datasets, BuildProducesConsistentShapes) {
+  const auto ds = build_dataset("arxiv-s", 0.05);
+  EXPECT_EQ(ds.features.rows(), ds.graph.num_vertices());
+  EXPECT_EQ(ds.features.cols(), ds.spec.feat_dim);
+  EXPECT_EQ(ds.labels.size(), ds.graph.num_vertices());
+  for (auto label : ds.labels) EXPECT_LT(label, ds.spec.num_classes);
+}
+
+TEST(Datasets, BuildDeterministicInSeed) {
+  const auto a = build_dataset("arxiv-s", 0.03, 7);
+  const auto b = build_dataset("arxiv-s", 0.03, 7);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_FLOAT_EQ(a.features.at(0, 0), b.features.at(0, 0));
+}
+
+TEST(Datasets, ScalePreservesAvgDegreeRoughly) {
+  const auto small = build_dataset("arxiv-s", 0.05);
+  const auto larger = build_dataset("arxiv-s", 0.2);
+  const double deg_small = small.graph.avg_in_degree();
+  const double deg_large = larger.graph.avg_in_degree();
+  EXPECT_NEAR(deg_small, deg_large, deg_large * 0.3);
+}
+
+TEST(Datasets, RedditDenserThanProducts) {
+  const auto reddit = build_dataset("reddit-s", 0.15);
+  const auto products = build_dataset("products-s", 0.15);
+  EXPECT_GT(reddit.graph.avg_in_degree(),
+            2.0 * products.graph.avg_in_degree());
+}
+
+TEST(Datasets, ScaleValidation) {
+  EXPECT_THROW(build_dataset("arxiv-s", 0.0), check_error);
+  EXPECT_THROW(build_dataset("arxiv-s", 1.5), check_error);
+}
+
+TEST(SbmDataset, TrainableStructure) {
+  const auto ds = build_sbm_dataset(400, 4, 16, 10.0);
+  EXPECT_EQ(ds.graph.num_vertices(), 400u);
+  EXPECT_EQ(ds.features.cols(), 16u);
+  EXPECT_NEAR(ds.graph.avg_in_degree(), 10.0, 3.0);
+  // Features correlate with labels: same-class centroid distance should be
+  // smaller than cross-class. Spot check with class means.
+  std::vector<std::vector<double>> centroid(4, std::vector<double>(16, 0));
+  std::vector<std::size_t> count(4, 0);
+  for (std::size_t v = 0; v < 400; ++v) {
+    const auto row = ds.features.row(v);
+    auto& c = centroid[ds.labels[v]];
+    for (std::size_t j = 0; j < 16; ++j) c[j] += row[j];
+    ++count[ds.labels[v]];
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    ASSERT_GT(count[k], 0u);
+    for (auto& x : centroid[k]) x /= static_cast<double>(count[k]);
+  }
+  // Distinct classes must have distinct centroids.
+  double d01 = 0;
+  for (std::size_t j = 0; j < 16; ++j) {
+    d01 += (centroid[0][j] - centroid[1][j]) * (centroid[0][j] - centroid[1][j]);
+  }
+  EXPECT_GT(d01, 0.5);
+}
+
+}  // namespace
+}  // namespace ripple

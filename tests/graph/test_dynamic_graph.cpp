@@ -1,0 +1,142 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ripple {
+namespace {
+
+TEST(DynamicGraph, AddEdgeUpdatesBothDirections) {
+  DynamicGraph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0].vertex, 1u);
+  EXPECT_EQ(g.in_neighbors(1)[0].vertex, 0u);
+}
+
+TEST(DynamicGraph, DuplicateEdgeRejected) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraph, ReverseEdgeIsDistinct) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.add_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(DynamicGraph, SelfLoopAllowed) {
+  DynamicGraph g(2);
+  EXPECT_TRUE(g.add_edge(1, 1));
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+}
+
+TEST(DynamicGraph, RemoveEdge) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.in_degree(1), 0u);
+}
+
+TEST(DynamicGraph, RemoveAbsentEdgeReturnsFalse) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.remove_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraph, ReAddAfterRemove) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1, 2.0f);
+  g.remove_edge(0, 1);
+  EXPECT_TRUE(g.add_edge(0, 1, 3.0f));
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 1), 3.0f);
+}
+
+TEST(DynamicGraph, EdgeWeightRoundTrip) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1, 0.75f);
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 1), 0.75f);
+  EXPECT_FLOAT_EQ(g.in_neighbors(1)[0].weight, 0.75f);
+}
+
+TEST(DynamicGraph, SetEdgeWeightUpdatesBothSides) {
+  DynamicGraph g(2);
+  g.add_edge(0, 1, 1.0f);
+  EXPECT_TRUE(g.set_edge_weight(0, 1, 5.0f));
+  EXPECT_FLOAT_EQ(g.out_neighbors(0)[0].weight, 5.0f);
+  EXPECT_FLOAT_EQ(g.in_neighbors(1)[0].weight, 5.0f);
+  EXPECT_FALSE(g.set_edge_weight(1, 0, 2.0f));
+}
+
+TEST(DynamicGraph, EdgeWeightOfAbsentEdgeThrows) {
+  DynamicGraph g(2);
+  EXPECT_THROW(g.edge_weight(0, 1), check_error);
+}
+
+TEST(DynamicGraph, OutOfRangeVertexThrows) {
+  DynamicGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), check_error);
+  EXPECT_THROW(g.add_edge(5, 0), check_error);
+  EXPECT_THROW(g.has_edge(0, 9), check_error);
+}
+
+TEST(DynamicGraph, EdgesListsAll) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1, 1.0f);
+  g.add_edge(2, 3, 2.0f);
+  g.add_edge(3, 0, 3.0f);
+  auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.src < b.src; });
+  EXPECT_EQ(edges[0].src, 0u);
+  EXPECT_EQ(edges[1].dst, 3u);
+  EXPECT_FLOAT_EQ(edges[2].weight, 3.0f);
+}
+
+TEST(DynamicGraph, AvgInDegree) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(3, 1);
+  g.add_edge(1, 0);
+  EXPECT_DOUBLE_EQ(g.avg_in_degree(), 1.0);
+}
+
+TEST(DynamicGraph, ManyEdgesStressInvariant) {
+  DynamicGraph g(100);
+  std::size_t added = 0;
+  for (VertexId u = 0; u < 100; ++u) {
+    for (VertexId v = 0; v < 100; v += 7) {
+      if (u != v && g.add_edge(u, v)) ++added;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), added);
+  // in/out degree sums must both equal the edge count.
+  std::size_t in_sum = 0;
+  std::size_t out_sum = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    in_sum += g.in_degree(v);
+    out_sum += g.out_degree(v);
+  }
+  EXPECT_EQ(in_sum, added);
+  EXPECT_EQ(out_sum, added);
+}
+
+}  // namespace
+}  // namespace ripple

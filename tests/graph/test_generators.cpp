@@ -1,0 +1,105 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/stats.h"
+
+namespace ripple {
+namespace {
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  Rng rng(1);
+  const auto g = erdos_renyi(200, 1500, rng);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  EXPECT_EQ(g.num_edges(), 1500u);
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const auto g1 = erdos_renyi(100, 400, rng1);
+  const auto g2 = erdos_renyi(100, 400, rng2);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(Generators, ErdosRenyiNoSelfLoopsOrDuplicates) {
+  Rng rng(3);
+  const auto g = erdos_renyi(50, 600, rng);
+  for (const auto& e : g.edges()) EXPECT_NE(e.src, e.dst);
+  // DynamicGraph::add_edge rejects duplicates, so m == unique edges.
+  EXPECT_EQ(g.edges().size(), g.num_edges());
+}
+
+TEST(Generators, ErdosRenyiRejectsOverfull) {
+  Rng rng(1);
+  EXPECT_THROW(erdos_renyi(3, 100, rng), check_error);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSkew) {
+  Rng rng(7);
+  const auto g = barabasi_albert(2000, 8, rng);
+  const auto stats = compute_stats(g);
+  // Preferential attachment must produce a heavy tail: p99 well above mean.
+  EXPECT_GT(static_cast<double>(stats.max_in_degree),
+            4.0 * stats.avg_in_degree);
+  EXPECT_NEAR(stats.avg_in_degree, 8.0, 2.0);
+}
+
+TEST(Generators, RmatApproximatesTargetEdges) {
+  Rng rng(11);
+  const auto g = rmat(1024, 8000, 0.45, 0.22, 0.22, 0.11, rng);
+  // R-MAT rejects collisions, so allow modest shortfall.
+  EXPECT_GT(g.num_edges(), 7000u);
+  EXPECT_LE(g.num_edges(), 8000u);
+}
+
+TEST(Generators, RmatSkewedInDegrees) {
+  Rng rng(13);
+  const auto g = rmat(2048, 20000, 0.45, 0.22, 0.22, 0.11, rng);
+  const auto stats = compute_stats(g);
+  EXPECT_GT(static_cast<double>(stats.max_in_degree),
+            5.0 * stats.avg_in_degree);
+}
+
+TEST(Generators, RmatValidatesProbabilities) {
+  Rng rng(1);
+  EXPECT_THROW(rmat(64, 100, 0.5, 0.5, 0.5, 0.5, rng), check_error);
+}
+
+TEST(Generators, SbmLabelsAssignedToAllVertices) {
+  Rng rng(17);
+  std::vector<std::uint32_t> labels;
+  const auto g = stochastic_block_model(500, 5, 0.05, 0.005, rng, &labels);
+  EXPECT_EQ(labels.size(), 500u);
+  for (auto label : labels) EXPECT_LT(label, 5u);
+}
+
+TEST(Generators, SbmAssortativity) {
+  Rng rng(19);
+  std::vector<std::uint32_t> labels;
+  const auto g = stochastic_block_model(600, 3, 0.06, 0.004, rng, &labels);
+  std::size_t within = 0;
+  std::size_t across = 0;
+  for (const auto& e : g.edges()) {
+    if (labels[e.src] == labels[e.dst]) ++within;
+    else ++across;
+  }
+  // p_in/p_out = 15 but across-pairs are 2x as numerous; expect a clear
+  // majority of within-community edges regardless.
+  EXPECT_GT(within, across);
+}
+
+TEST(Generators, SbmExpectedDegreeClose) {
+  Rng rng(23);
+  std::vector<std::uint32_t> labels;
+  const std::size_t n = 1200;
+  const double p = 0.01;
+  const auto g = stochastic_block_model(n, 4, p, p, rng, &labels);
+  // With p_in == p_out == p, E[m] = p * n * (n - 1).
+  const double expected = p * static_cast<double>(n) * (n - 1);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ripple {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIo, GraphRoundTrip) {
+  Rng rng(1);
+  const auto g = erdos_renyi(80, 400, rng);
+  const auto path = temp_path("graph.bin");
+  save_graph(g, path);
+  const auto loaded = load_graph(path);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, GraphWithWeightsRoundTrip) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1, 0.5f);
+  g.add_edge(1, 2, 2.5f);
+  const auto path = temp_path("weighted.bin");
+  save_graph(g, path);
+  const auto loaded = load_graph(path);
+  EXPECT_FLOAT_EQ(loaded.edge_weight(0, 1), 0.5f);
+  EXPECT_FLOAT_EQ(loaded.edge_weight(1, 2), 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MatrixRoundTrip) {
+  Rng rng(2);
+  const auto m = Matrix::random_uniform(17, 9, rng);
+  const auto path = temp_path("matrix.bin");
+  save_matrix(m, path);
+  const auto loaded = load_matrix(path);
+  EXPECT_EQ(loaded.rows(), m.rows());
+  EXPECT_EQ(loaded.cols(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded.data()[i], m.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph(temp_path("no-such-file.bin")), check_error);
+  EXPECT_THROW(load_matrix(temp_path("no-such-file.bin")), check_error);
+}
+
+TEST(GraphIo, WrongMagicThrows) {
+  Rng rng(3);
+  const auto m = Matrix::random_uniform(2, 2, rng);
+  const auto path = temp_path("as-matrix.bin");
+  save_matrix(m, path);
+  EXPECT_THROW(load_graph(path), check_error);  // graph loader on matrix file
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ripple

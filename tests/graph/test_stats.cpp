@@ -1,0 +1,57 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_graph.h"
+
+namespace ripple {
+namespace {
+
+TEST(GraphStats, EmptyGraph) {
+  DynamicGraph g(5);
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.num_vertices, 5u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_in_degree, 0.0);
+  EXPECT_EQ(stats.isolated_vertices, 5u);
+}
+
+TEST(GraphStats, StarGraph) {
+  DynamicGraph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.add_edge(v, 0);
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.max_in_degree, 4u);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_in_degree, 4.0 / 5.0);
+  EXPECT_EQ(stats.isolated_vertices, 0u);
+}
+
+TEST(GraphStats, IsolatedRequiresBothDirectionsEmpty) {
+  DynamicGraph g(3);
+  g.add_edge(0, 1);
+  const auto stats = compute_stats(g);
+  // Vertex 2 is isolated; 0 has out-degree, 1 has in-degree.
+  EXPECT_EQ(stats.isolated_vertices, 1u);
+}
+
+TEST(GraphStats, P99TracksTail) {
+  DynamicGraph g(200);
+  // 199 vertices with in-degree 1, one hub with in-degree 150.
+  for (VertexId v = 1; v < 151; ++v) g.add_edge(v, 0);
+  for (VertexId v = 1; v < 200; ++v) g.add_edge(0, v);
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.max_in_degree, 150u);
+  EXPECT_LE(stats.in_degree_p99, 150.0);
+  EXPECT_GE(stats.in_degree_p99, 1.0);
+}
+
+TEST(GraphStats, ToStringMentionsCounts) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  const auto text = compute_stats(g).to_string();
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("m=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,103 @@
+#include "infer/affected.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+
+namespace ripple {
+namespace {
+
+using testing::fig4_graph;
+
+std::vector<VertexId> sorted(std::vector<VertexId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Affected, EdgeAddSeedsSink) {
+  auto g = fig4_graph();
+  g.add_edge(2, 0);  // the Fig. 4 update: C->A
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(2, 0)};
+  const auto affected = compute_affected_sets(g, batch, 3, /*uses_self=*/false);
+  ASSERT_EQ(affected.size(), 3u);
+  // Hop 1: only A (the sink). Hop 2: out-neighbors of A = {B, D}, plus A
+  // itself — the new edge feeds x^2_A too (Fig. 4b updates h2_A). Hop 3:
+  // out of {A, B, D} = {A, B, D, E} union the sink A.
+  EXPECT_EQ(sorted(affected[0]), (std::vector<VertexId>{0}));
+  EXPECT_EQ(sorted(affected[1]), (std::vector<VertexId>{0, 1, 3}));
+  EXPECT_EQ(sorted(affected[2]), (std::vector<VertexId>{0, 1, 3, 4}));
+}
+
+TEST(Affected, SelfDependenceWidensSets) {
+  auto g = fig4_graph();
+  g.add_edge(2, 0);
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(2, 0)};
+  const auto affected = compute_affected_sets(g, batch, 2, /*uses_self=*/true);
+  // Hop 2 includes A itself both via the self term (SAGE reads h1_A for
+  // h2_A) and as the edge sink.
+  EXPECT_EQ(sorted(affected[1]), (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(Affected, FeatureUpdateSeedsOutNeighbors) {
+  const auto g = fig4_graph();
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::vertex_feature(2, {})};  // C: out-edges C->D
+  const auto no_self = compute_affected_sets(g, batch, 1, false);
+  EXPECT_EQ(sorted(no_self[0]), (std::vector<VertexId>{3}));
+  const auto with_self = compute_affected_sets(g, batch, 1, true);
+  EXPECT_EQ(sorted(with_self[0]), (std::vector<VertexId>{2, 3}));
+}
+
+TEST(Affected, EdgeDeleteSeedsSink) {
+  auto g = fig4_graph();
+  g.remove_edge(1, 0);  // delete B->A
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_del(1, 0)};
+  const auto affected = compute_affected_sets(g, batch, 1, false);
+  EXPECT_EQ(sorted(affected[0]), (std::vector<VertexId>{0}));
+}
+
+TEST(Affected, BatchUnionsDeduplicated) {
+  const auto g = fig4_graph();
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::edge_add(5, 0),  // sink A
+      GraphUpdate::edge_add(4, 0),  // sink A again
+  };
+  const auto affected = compute_affected_sets(g, batch, 1, false);
+  EXPECT_EQ(affected[0].size(), 1u);
+}
+
+TEST(Affected, GrowthBoundedByGraph) {
+  auto g = testing::random_graph(60, 500, 11);
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(0, 1)};
+  const auto affected = compute_affected_sets(g, batch, 4, true);
+  for (const auto& hop : affected) {
+    EXPECT_LE(hop.size(), 60u);
+  }
+  // Monotone-ish growth: later hops reach at least as many vertices as the
+  // previous hop when self-dependence keeps prior vertices in the set.
+  for (std::size_t l = 1; l < affected.size(); ++l) {
+    EXPECT_GE(affected[l].size(), affected[l - 1].size());
+  }
+}
+
+TEST(Affected, TreeSizeSumsHops) {
+  std::vector<std::vector<VertexId>> affected = {{1, 2}, {3}, {4, 5, 6}};
+  EXPECT_EQ(propagation_tree_size(affected), 6u);
+}
+
+TEST(Affected, IsolatedSinkStopsPropagation) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);  // 1 has no out-edges
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(0, 1)};
+  const auto affected = compute_affected_sets(g, batch, 3, false);
+  // The sink (1) stays affected at every hop (the edge feeds each layer's
+  // aggregate), but nothing propagates beyond it.
+  EXPECT_EQ(affected[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(affected[1], (std::vector<VertexId>{1}));
+  EXPECT_EQ(affected[2], (std::vector<VertexId>{1}));
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,135 @@
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ripple {
+namespace {
+
+DynamicGraph community_graph(std::size_t communities, std::size_t size,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> labels;
+  // Strongly assortative SBM: a good partitioner should find the blocks.
+  return stochastic_block_model(communities * size, communities, 0.2, 0.002,
+                                rng, &labels);
+}
+
+// Communities laid out as contiguous id ranges, so neither hash (v % k) nor
+// any id-based scheme accidentally matches the ground truth.
+DynamicGraph contiguous_community_graph(std::size_t communities,
+                                        std::size_t size,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = communities * size;
+  DynamicGraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const bool same = (u / size) == (v / size);
+      const double p = same ? 0.15 : 0.002;
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(Partition, EveryVertexExactlyOnePart) {
+  const auto partition = hash_partition(100, 7);
+  EXPECT_EQ(partition.num_parts(), 7u);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < 7; ++p) {
+    total += partition.part_size(p);
+    for (VertexId v : partition.vertices_of(p)) {
+      EXPECT_EQ(partition.part_of(v), p);
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition, HashIsBalanced) {
+  const auto partition = hash_partition(1000, 8);
+  EXPECT_LT(partition.balance(), 1.01);
+}
+
+TEST(Partition, RejectsOutOfRangePartIds) {
+  EXPECT_THROW(Partition(2, {0, 1, 2}), check_error);
+}
+
+TEST(Partition, EdgeCutCountsCrossEdges) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);
+  const Partition partition(2, {0, 0, 1, 1});
+  EXPECT_EQ(partition.edge_cut(g), 1u);  // only 0->2 crosses
+}
+
+TEST(Partition, LdgCoversAllAndBalances) {
+  const auto g = community_graph(4, 100, 1);
+  const auto partition = ldg_partition(g, 4);
+  EXPECT_EQ(partition.num_vertices(), 400u);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < 4; ++p) total += partition.part_size(p);
+  EXPECT_EQ(total, 400u);
+  EXPECT_LT(partition.balance(), 1.10);
+}
+
+TEST(Partition, LdgBeatsHashOnCut) {
+  const auto g = contiguous_community_graph(4, 75, 2);
+  const auto hash = hash_partition(g.num_vertices(), 4);
+  auto ldg = ldg_partition(g, 4);
+  refine_partition(g, ldg, 2);
+  EXPECT_LT(ldg.edge_cut(g), hash.edge_cut(g));
+}
+
+TEST(Partition, RefinementNeverWorsensCut) {
+  const auto g = community_graph(3, 80, 3);
+  auto partition = hash_partition(g.num_vertices(), 3);
+  const auto cut_before = partition.edge_cut(g);
+  refine_partition(g, partition, 3);
+  EXPECT_LE(partition.edge_cut(g), cut_before);
+  EXPECT_LT(partition.balance(), 1.15);
+}
+
+TEST(Partition, RefinementKeepsCover) {
+  const auto g = community_graph(2, 60, 4);
+  auto partition = hash_partition(g.num_vertices(), 2);
+  refine_partition(g, partition, 2);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < 2; ++p) total += partition.part_size(p);
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Partition, SinglePartHasZeroCut) {
+  const auto g = community_graph(2, 40, 5);
+  const auto partition = hash_partition(g.num_vertices(), 1);
+  EXPECT_EQ(partition.edge_cut(g), 0u);
+  EXPECT_DOUBLE_EQ(partition.balance(), 1.0);
+}
+
+TEST(Partition, LdgDeterministic) {
+  const auto g = community_graph(3, 50, 6);
+  const auto a = ldg_partition(g, 3);
+  const auto b = ldg_partition(g, 3);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(a.part_of(v), b.part_of(v));
+  }
+}
+
+TEST(Partition, LdgRecoversCommunitiesReasonably) {
+  // On a strongly assortative graph with contiguous communities, LDG +
+  // refinement should leave far less than the ~2/3 cut of a random 3-way
+  // split.
+  const auto g = contiguous_community_graph(3, 80, 7);
+  auto partition = ldg_partition(g, 3);
+  refine_partition(g, partition, 3);
+  const double cut_fraction = static_cast<double>(partition.edge_cut(g)) /
+                              static_cast<double>(g.num_edges());
+  EXPECT_LT(cut_fraction, 0.4);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,106 @@
+#include "stream/adaptive_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ripple {
+namespace {
+
+AdaptiveBatcher::Options opts(double target) {
+  AdaptiveBatcher::Options options;
+  options.target_latency_sec = target;
+  options.min_batch = 1;
+  options.max_batch = 1000;
+  return options;
+}
+
+// Synthetic engine cost: latency = fixed + slope * batch.
+void feed(AdaptiveBatcher& batcher, double fixed, double slope, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const std::size_t batch = batcher.next_batch_size();
+    batcher.record(batch, fixed + slope * static_cast<double>(batch));
+  }
+}
+
+TEST(AdaptiveBatcher, ColdStartProbesMinBatch) {
+  AdaptiveBatcher batcher(opts(0.1));
+  EXPECT_EQ(batcher.next_batch_size(), 1u);
+}
+
+TEST(AdaptiveBatcher, ConvergesToTargetLatency) {
+  AdaptiveBatcher batcher(opts(0.1));
+  const double fixed = 0.002;
+  const double slope = 0.0005;  // ideal batch ≈ (0.1 - 0.002)/0.0005 = 196
+  feed(batcher, fixed, slope, 30);
+  const std::size_t proposal = batcher.next_batch_size();
+  // Expected batch delivers a latency within 2x of target.
+  const double expected_latency =
+      fixed + slope * static_cast<double>(proposal);
+  EXPECT_GT(expected_latency, 0.04);
+  EXPECT_LT(expected_latency, 0.2);
+}
+
+TEST(AdaptiveBatcher, RespectsMaxBatch) {
+  auto options = opts(10.0);  // huge budget
+  options.max_batch = 64;
+  AdaptiveBatcher batcher(options);
+  feed(batcher, 0.001, 0.0001, 10);
+  EXPECT_LE(batcher.next_batch_size(), 64u);
+}
+
+TEST(AdaptiveBatcher, RespectsMinBatchUnderTightDeadline) {
+  auto options = opts(1e-6);  // impossible deadline
+  options.min_batch = 2;
+  AdaptiveBatcher batcher(options);
+  feed(batcher, 0.01, 0.01, 10);
+  EXPECT_EQ(batcher.next_batch_size(), 2u);
+}
+
+TEST(AdaptiveBatcher, AdaptsWhenCostDrifts) {
+  AdaptiveBatcher batcher(opts(0.1));
+  feed(batcher, 0.001, 0.0002, 20);
+  const std::size_t before = batcher.next_batch_size();
+  // Graph densified: per-update cost x10 — proposals must shrink.
+  feed(batcher, 0.001, 0.002, 20);
+  const std::size_t after = batcher.next_batch_size();
+  EXPECT_LT(after, before);
+}
+
+TEST(AdaptiveBatcher, ShouldFlushOnSizeOrAge) {
+  auto options = opts(0.1);
+  options.flush_after_sec = 0.5;
+  AdaptiveBatcher batcher(options);
+  EXPECT_FALSE(batcher.should_flush(0.0, 0));       // nothing pending
+  EXPECT_TRUE(batcher.should_flush(0.0, 1));        // cold start batch = 1
+  EXPECT_TRUE(batcher.should_flush(0.9, 1));        // stale
+  feed(batcher, 0.001, 0.0005, 20);
+  EXPECT_FALSE(batcher.should_flush(0.1, 3));       // batch target is larger
+  EXPECT_TRUE(batcher.should_flush(0.6, 3));        // but age forces flush
+}
+
+TEST(AdaptiveBatcher, ValidatesOptions) {
+  AdaptiveBatcher::Options bad;
+  bad.min_batch = 0;
+  EXPECT_THROW(AdaptiveBatcher{bad}, check_error);
+  AdaptiveBatcher::Options bad2;
+  bad2.target_latency_sec = -1;
+  EXPECT_THROW(AdaptiveBatcher{bad2}, check_error);
+}
+
+TEST(AdaptiveBatcher, RejectsBadObservations) {
+  AdaptiveBatcher batcher(opts(0.1));
+  EXPECT_THROW(batcher.record(0, 0.1), check_error);
+  EXPECT_THROW(batcher.record(10, -0.1), check_error);
+}
+
+TEST(AdaptiveBatcher, ModelEstimatesRoughlyCorrect) {
+  AdaptiveBatcher batcher(opts(0.05));
+  feed(batcher, 0.004, 0.0004, 40);
+  EXPECT_NEAR(batcher.estimated_slope_sec(), 0.0004, 0.0003);
+  EXPECT_NEAR(batcher.estimated_fixed_sec(), 0.004, 0.004);
+  EXPECT_EQ(batcher.samples(), 40u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,120 @@
+#include "stream/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ripple {
+namespace {
+
+StreamConfig small_config() {
+  StreamConfig config;
+  config.num_updates = 600;
+  config.holdout_fraction = 0.1;
+  config.feat_dim = 8;
+  config.seed = 77;
+  return config;
+}
+
+TEST(StreamGenerator, SnapshotRestoredAfterGeneration) {
+  Rng rng(1);
+  auto graph = erdos_renyi(200, 2000, rng);
+  auto snapshot_before = graph;  // copy
+  const auto config = small_config();
+  generate_stream(graph, config);
+  // Generator removes holdout edges, but edge-op side effects are rolled
+  // back: the result must be exactly the snapshot (original minus holdout).
+  EXPECT_EQ(graph.num_edges(), 1800u);
+  // Determinism: regenerating from the original graph gives the same stream.
+  auto graph2 = snapshot_before;
+  auto stream1_graph = snapshot_before;
+  const auto s1 = generate_stream(stream1_graph, config);
+  const auto s2 = generate_stream(graph2, config);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].kind, s2[i].kind);
+    EXPECT_EQ(s1[i].u, s2[i].u);
+    EXPECT_EQ(s1[i].v, s2[i].v);
+  }
+}
+
+TEST(StreamGenerator, StreamValidWhenAppliedSequentially) {
+  Rng rng(2);
+  auto graph = erdos_renyi(150, 1500, rng);
+  const auto stream = generate_stream(graph, small_config());
+  // Apply on a copy: every edge add must be new, every delete must hit.
+  auto working = graph;
+  for (const auto& update : stream) {
+    switch (update.kind) {
+      case UpdateKind::edge_add:
+        EXPECT_TRUE(working.add_edge(update.u, update.v, update.weight))
+            << update.to_string();
+        break;
+      case UpdateKind::edge_del:
+        EXPECT_TRUE(working.remove_edge(update.u, update.v))
+            << update.to_string();
+        break;
+      case UpdateKind::vertex_feature:
+        EXPECT_EQ(update.new_features.size(), 8u);
+        EXPECT_LT(update.u, working.num_vertices());
+        break;
+    }
+  }
+}
+
+TEST(StreamGenerator, MixRoughlyBalanced) {
+  Rng rng(3);
+  auto graph = erdos_renyi(300, 6000, rng);
+  auto config = small_config();
+  config.num_updates = 1500;
+  const auto stream = generate_stream(graph, config);
+  EXPECT_EQ(stream.size(), 1500u);
+  std::size_t adds = 0;
+  std::size_t dels = 0;
+  std::size_t feats = 0;
+  for (const auto& u : stream) {
+    if (u.kind == UpdateKind::edge_add) ++adds;
+    else if (u.kind == UpdateKind::edge_del) ++dels;
+    else ++feats;
+  }
+  EXPECT_NEAR(static_cast<double>(adds), 500.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(dels), 500.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(feats), 500.0, 120.0);
+}
+
+TEST(StreamGenerator, AddQuotaCappedByHoldout) {
+  Rng rng(4);
+  auto graph = erdos_renyi(100, 500, rng);  // holdout = 50 edges
+  auto config = small_config();
+  config.num_updates = 900;  // requests ~300 adds but only 50 exist
+  const auto stream = generate_stream(graph, config);
+  std::size_t adds = 0;
+  for (const auto& u : stream) {
+    if (u.kind == UpdateKind::edge_add) ++adds;
+  }
+  EXPECT_LE(adds, 50u);
+}
+
+TEST(StreamGenerator, EdgeOnlyStream) {
+  Rng rng(5);
+  auto graph = erdos_renyi(100, 1000, rng);
+  auto config = small_config();
+  config.feature_weight = 0;
+  config.feat_dim = 0;
+  const auto stream = generate_stream(graph, config);
+  for (const auto& u : stream) {
+    EXPECT_TRUE(u.is_edge_update());
+  }
+}
+
+TEST(StreamGenerator, FeatureDimRequiredWhenFeaturesEnabled) {
+  Rng rng(6);
+  auto graph = erdos_renyi(50, 200, rng);
+  auto config = small_config();
+  config.feat_dim = 0;
+  EXPECT_THROW(generate_stream(graph, config), check_error);
+}
+
+}  // namespace
+}  // namespace ripple

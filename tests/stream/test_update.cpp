@@ -1,0 +1,80 @@
+#include "stream/update.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace ripple {
+namespace {
+
+TEST(Update, Constructors) {
+  const auto add = GraphUpdate::edge_add(1, 2, 0.5f);
+  EXPECT_EQ(add.kind, UpdateKind::edge_add);
+  EXPECT_EQ(add.u, 1u);
+  EXPECT_EQ(add.v, 2u);
+  EXPECT_FLOAT_EQ(add.weight, 0.5f);
+  EXPECT_TRUE(add.is_edge_update());
+  EXPECT_EQ(add.hop0_vertex(), 1u);
+
+  const auto del = GraphUpdate::edge_del(3, 4);
+  EXPECT_EQ(del.kind, UpdateKind::edge_del);
+  EXPECT_TRUE(del.is_edge_update());
+
+  const auto feat = GraphUpdate::vertex_feature(5, {1.0f, 2.0f});
+  EXPECT_EQ(feat.kind, UpdateKind::vertex_feature);
+  EXPECT_FALSE(feat.is_edge_update());
+  EXPECT_EQ(feat.hop0_vertex(), 5u);
+  EXPECT_EQ(feat.new_features.size(), 2u);
+}
+
+TEST(Update, KindNames) {
+  EXPECT_STREQ(update_kind_name(UpdateKind::edge_add), "edge_add");
+  EXPECT_STREQ(update_kind_name(UpdateKind::edge_del), "edge_del");
+  EXPECT_STREQ(update_kind_name(UpdateKind::vertex_feature), "vertex_feature");
+}
+
+TEST(Update, WireBytesIncludesFeaturePayload) {
+  const auto edge = GraphUpdate::edge_add(0, 1);
+  const auto feat = GraphUpdate::vertex_feature(0, std::vector<float>(64));
+  EXPECT_EQ(feat.wire_bytes(), edge.wire_bytes() + 64 * sizeof(float));
+}
+
+TEST(Update, ToStringMentionsEndpoints) {
+  const auto add = GraphUpdate::edge_add(7, 9);
+  EXPECT_NE(add.to_string().find("7->9"), std::string::npos);
+}
+
+TEST(Batches, SplitsEvenly) {
+  std::vector<GraphUpdate> stream(10, GraphUpdate::edge_add(0, 1));
+  const auto batches = make_batches(stream, 5);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 5u);
+  EXPECT_EQ(batches[1].size(), 5u);
+}
+
+TEST(Batches, LastBatchShort) {
+  std::vector<GraphUpdate> stream(7, GraphUpdate::edge_add(0, 1));
+  const auto batches = make_batches(stream, 3);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[2].size(), 1u);
+}
+
+TEST(Batches, BatchLargerThanStream) {
+  std::vector<GraphUpdate> stream(4, GraphUpdate::edge_add(0, 1));
+  const auto batches = make_batches(stream, 100);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 4u);
+}
+
+TEST(Batches, ZeroBatchSizeRejected) {
+  std::vector<GraphUpdate> stream(4, GraphUpdate::edge_add(0, 1));
+  EXPECT_THROW(make_batches(stream, 0), check_error);
+}
+
+TEST(Batches, EmptyStream) {
+  std::vector<GraphUpdate> stream;
+  EXPECT_TRUE(make_batches(stream, 10).empty());
+}
+
+}  // namespace
+}  // namespace ripple

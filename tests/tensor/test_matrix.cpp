@@ -1,0 +1,86 @@
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ripple {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m.at(r, c), 2.5f);
+  }
+}
+
+TEST(Matrix, AtIsRowMajor) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m.data()[1 * 3 + 2], 7.0f);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), check_error);
+  EXPECT_THROW(m.at(0, 2), check_error);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[0] = 1.0f;
+  row[2] = 3.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 3.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  EXPECT_NO_THROW(Matrix::from_rows(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Matrix::from_rows(2, 2, {1, 2, 3}), check_error);
+}
+
+TEST(Matrix, XavierBounded) {
+  Rng rng(1);
+  const auto m = Matrix::xavier(64, 32, rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound);
+  }
+}
+
+TEST(Matrix, ResizeReshapesAndRefills) {
+  Matrix m(2, 2, 1.0f);
+  m.resize(3, 5, 0.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 0.5f);
+  }
+}
+
+TEST(Matrix, SameShape) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  Matrix c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Matrix, BytesAccountsForPayload) {
+  Matrix m(10, 10);
+  EXPECT_EQ(m.bytes(), 400u);
+}
+
+TEST(Matrix, EmptyDefault) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ripple
