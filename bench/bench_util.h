@@ -34,6 +34,12 @@ struct RunMetrics {
   double mean_update_sec = 0;     // phase split (Fig. 8 stacks)
   double mean_propagate_sec = 0;
   double mean_tree_size = 0;      // affected vertices per batch
+  // Shard-parallel execution stats (BatchResult pass-through; zero for
+  // engines without a parallel propagation core).
+  std::size_t num_shards = 0;
+  std::size_t num_threads = 0;
+  double mean_apply_phase_sec = 0;    // mailbox drain + blocked GEMMs
+  double mean_compute_phase_sec = 0;  // Δh scatter into next-hop mailboxes
   std::vector<double> batch_latencies;
   std::vector<std::size_t> tree_sizes;
 };
@@ -50,6 +56,8 @@ inline RunMetrics run_stream(InferenceEngine& engine,
   double total_update = 0;
   double total_propagate = 0;
   double total_tree = 0;
+  double total_apply_phase = 0;
+  double total_compute_phase = 0;
   for (const auto& batch : make_batches(stream, batch_size)) {
     const BatchResult result = engine.apply_batch(batch);
     metrics.batch_latencies.push_back(result.total_sec());
@@ -57,6 +65,10 @@ inline RunMetrics run_stream(InferenceEngine& engine,
     total_update += result.update_sec;
     total_propagate += result.propagate_sec;
     total_tree += static_cast<double>(result.propagation_tree_size);
+    total_apply_phase += result.apply_phase_sec;
+    total_compute_phase += result.compute_phase_sec;
+    metrics.num_shards = result.num_shards;
+    metrics.num_threads = result.num_threads;
     ++metrics.num_batches;
     if (max_batches != 0 && metrics.num_batches >= max_batches) break;
   }
@@ -72,6 +84,10 @@ inline RunMetrics run_stream(InferenceEngine& engine,
       metrics.num_batches ? total_propagate / metrics.num_batches : 0;
   metrics.mean_tree_size =
       metrics.num_batches ? total_tree / metrics.num_batches : 0;
+  metrics.mean_apply_phase_sec =
+      metrics.num_batches ? total_apply_phase / metrics.num_batches : 0;
+  metrics.mean_compute_phase_sec =
+      metrics.num_batches ? total_compute_phase / metrics.num_batches : 0;
   return metrics;
 }
 

@@ -1,10 +1,32 @@
 // Shared harness for the distributed benches (Figs. 12, 13).
+//
+// The distributed runtime (src/dist) is a planned follow-up (see ROADMAP.md
+// open items); until it lands, the engine-dependent helpers here are gated
+// on its header so the dist benches compile into informative stubs.
 #pragma once
 
 #include "bench_util.h"
+#include "partition/partition.h"
+
+#if __has_include("dist/dist_engine.h")
+#define RIPPLE_HAS_DIST 1
 #include "dist/dist_engine.h"
+#else
+#define RIPPLE_HAS_DIST 0
+#endif
 
 namespace ripple::bench {
+
+// Builds the LDG+refine partition used by all distributed benches (the
+// METIS substitution; see DESIGN.md).
+inline Partition make_partition(const DynamicGraph& graph,
+                                std::size_t num_parts) {
+  auto partition = ldg_partition(graph, num_parts);
+  refine_partition(graph, partition, 2);
+  return partition;
+}
+
+#if RIPPLE_HAS_DIST
 
 struct DistRunMetrics {
   std::string engine;
@@ -44,13 +66,6 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
   return metrics;
 }
 
-// Builds the LDG+refine partition used by all distributed benches (the
-// METIS substitution; see DESIGN.md).
-inline Partition make_partition(const DynamicGraph& graph,
-                                std::size_t num_parts) {
-  auto partition = ldg_partition(graph, num_parts);
-  refine_partition(graph, partition, 2);
-  return partition;
-}
+#endif  // RIPPLE_HAS_DIST
 
 }  // namespace ripple::bench

@@ -12,6 +12,13 @@
 
 using namespace ripple;
 
+#if !RIPPLE_HAS_DIST
+int main() {
+  std::printf("fig12: the distributed runtime (src/dist) is not built yet; "
+              "see ROADMAP.md open items.\n");
+  return 0;
+}
+#else
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool quick = flags.has("quick");
@@ -117,3 +124,4 @@ int main(int argc, char** argv) {
       "scale) while RC stays flat; RC communication dwarfs Ripple's (~70x).\n");
   return 0;
 }
+#endif  // RIPPLE_HAS_DIST

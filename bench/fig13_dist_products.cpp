@@ -10,6 +10,13 @@
 
 using namespace ripple;
 
+#if !RIPPLE_HAS_DIST
+int main() {
+  std::printf("fig13: the distributed runtime (src/dist) is not built yet; "
+              "see ROADMAP.md open items.\n");
+  return 0;
+}
+#else
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool quick = flags.has("quick");
@@ -93,3 +100,4 @@ int main(int argc, char** argv) {
       "~110 at 2 at full scale) — if it fits one machine, keep it there.\n");
   return 0;
 }
+#endif  // RIPPLE_HAS_DIST

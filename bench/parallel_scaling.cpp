@@ -1,0 +1,97 @@
+// Thread-count scaling sweep of the shard-parallel propagation core: a
+// 3-layer GC-S model over an R-MAT stream, re-run with pools of 1/2/4/8
+// threads (same shard count everywhere, so the numeric work — and, by the
+// determinism guarantee, every embedding bit — is identical across runs).
+//
+// Emits one JSON object per line on stdout so the BENCH_* trajectory can be
+// scraped without parsing tables:
+//   {"bench":"parallel_scaling","threads":4,...,"propagate_speedup_vs_first":2.7}
+//
+// Flags: --vertices=100000 --degree=16 --updates=2000 --batch=100
+//        --threads=1,2,4,8 --shards=16 --quick --seed=42
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/ripple_engine.h"
+#include "graph/generators.h"
+
+using namespace ripple;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.has("quick");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto num_vertices = static_cast<std::size_t>(
+      flags.get_int("vertices", quick ? 20000 : 100000));
+  const auto avg_degree =
+      static_cast<std::size_t>(flags.get_int("degree", 16));
+  const auto num_updates = static_cast<std::size_t>(
+      flags.get_int("updates", quick ? 400 : 2000));
+  const auto batch_size =
+      static_cast<std::size_t>(flags.get_int("batch", 100));
+  const auto num_shards =
+      static_cast<std::size_t>(flags.get_int("shards", 16));
+  const auto thread_counts =
+      flags.get_int_list("threads", {1, 2, 4, 8});
+  set_log_level(log_level::warn);
+
+  // R-MAT with the canonical (0.57, 0.19, 0.19, 0.05) quadrant mix — the
+  // heavy-tailed in-degree regime where propagation-tree work is largest.
+  Rng rng(seed);
+  auto graph = rmat(num_vertices, num_vertices * avg_degree, 0.57, 0.19,
+                    0.19, 0.05, rng);
+  const std::size_t feat_dim = 32;
+  const std::size_t num_classes = 16;
+  const auto features =
+      Matrix::random_uniform(graph.num_vertices(), feat_dim, rng);
+
+  StreamConfig stream_config;
+  stream_config.num_updates = num_updates;
+  stream_config.feat_dim = feat_dim;
+  stream_config.seed = seed + 1;
+  const auto stream = generate_stream(graph, stream_config);
+
+  const auto config =
+      workload_config(Workload::gc_s, feat_dim, num_classes, /*layers=*/3, 64);
+  const auto model = GnnModel::random(config, seed + 2);
+
+  std::fprintf(stderr,
+               "parallel_scaling: n=%zu m=%zu updates=%zu batch=%zu "
+               "shards=%zu layers=3\n",
+               graph.num_vertices(), graph.num_edges(), stream.size(),
+               batch_size, num_shards);
+
+  // Speedups are reported relative to the FIRST --threads entry (pass 1
+  // first for a true vs-1-thread number).
+  double baseline_propagate = -1;
+  for (const auto threads : thread_counts) {
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    RippleOptions options;
+    options.num_shards = num_shards;
+    RippleEngine engine(model, graph, features, &pool, options);
+    const auto run = bench::run_stream(engine, stream, batch_size);
+    if (baseline_propagate < 0) baseline_propagate = run.mean_propagate_sec;
+    const double speedup = run.mean_propagate_sec > 0
+                               ? baseline_propagate / run.mean_propagate_sec
+                               : 0;
+    std::printf(
+        "{\"bench\":\"parallel_scaling\",\"dataset\":\"rmat\","
+        "\"vertices\":%zu,\"edges\":%zu,\"layers\":3,\"feat_dim\":%zu,"
+        "\"hidden_dim\":64,\"updates\":%zu,\"batch_size\":%zu,"
+        "\"shards\":%zu,\"threads\":%lld,\"num_batches\":%zu,"
+        "\"throughput_ups\":%.6g,\"median_latency_sec\":%.6g,"
+        "\"mean_update_sec\":%.6g,\"mean_propagate_sec\":%.6g,"
+        "\"mean_apply_phase_sec\":%.6g,\"mean_compute_phase_sec\":%.6g,"
+        "\"mean_tree_size\":%.6g,\"propagate_speedup_vs_first\":%.4g}\n",
+        graph.num_vertices(), graph.num_edges(), feat_dim, stream.size(),
+        batch_size, run.num_shards,
+        static_cast<long long>(run.num_threads), run.num_batches,
+        run.throughput_ups, run.median_latency_sec,
+        run.mean_update_sec, run.mean_propagate_sec, run.mean_apply_phase_sec,
+        run.mean_compute_phase_sec, run.mean_tree_size, speedup);
+    std::fflush(stdout);
+  }
+  return 0;
+}

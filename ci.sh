@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the full ctest suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"

@@ -8,12 +8,25 @@
 
 #include "common/flags.h"
 #include "common/log.h"
-#include "dist/dist_engine.h"
 #include "graph/datasets.h"
 #include "stream/generator.h"
 
+#if __has_include("dist/dist_engine.h")
+#define RIPPLE_HAS_DIST 1
+#include "dist/dist_engine.h"
+#else
+#define RIPPLE_HAS_DIST 0
+#endif
+
 using namespace ripple;
 
+#if !RIPPLE_HAS_DIST
+int main() {
+  std::printf("distributed_inference: the distributed runtime (src/dist) is "
+              "not built yet; see ROADMAP.md open items.\n");
+  return 0;
+}
+#else
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto num_parts =
@@ -69,3 +82,4 @@ int main(int argc, char** argv) {
       "— the source of the paper's ~70x communication gap (Fig. 12c).\n");
   return 0;
 }
+#endif  // RIPPLE_HAS_DIST

@@ -11,9 +11,19 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
+  worker_ids_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    worker_ids_.push_back(workers_.back().get_id());
   }
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread::id& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
 }
 
 ThreadPool::~ThreadPool() {
@@ -64,6 +74,13 @@ void ThreadPool::parallel_for(
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_chunk) {
   if (begin >= end) return;
+  if (on_worker_thread()) {
+    // Nested use from inside a pool task: run inline. Submitting chunks and
+    // blocking in wait_all() here would park this worker behind its own
+    // tasks and deadlock once all workers do the same.
+    body(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t max_chunks = std::max<std::size_t>(1, n / min_chunk);
   const std::size_t num_chunks = std::min(workers_.size(), max_chunks);

@@ -30,10 +30,17 @@ class ThreadPool {
 
   // Splits [begin, end) into roughly equal contiguous chunks, runs
   // body(chunk_begin, chunk_end) across the pool, and blocks until done.
-  // Falls back to inline execution for tiny ranges or a 1-thread pool.
+  // Falls back to inline execution for tiny ranges, a 1-thread pool, or
+  // when called from one of this pool's own workers — a nested
+  // parallel_for would otherwise block a worker on wait_all() while the
+  // tasks it is waiting for sit behind it in the queue (deadlock once
+  // every worker does this).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_chunk = 256);
+
+  // True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   // Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -42,6 +49,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_cv_;

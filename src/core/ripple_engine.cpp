@@ -1,5 +1,10 @@
 #include "core/ripple_engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "infer/layerwise.h"
 
@@ -16,14 +21,22 @@ RippleEngine::RippleEngine(const GnnModel& model, DynamicGraph snapshot,
                    "mean, weighted_sum); got "
                        << aggregator_name(model_.config().aggregator));
   RIPPLE_CHECK(features.rows() == graph_.num_vertices());
+  num_shards_ = options_.num_shards != 0
+                    ? options_.num_shards
+                    : (pool_ != nullptr
+                           ? std::max<std::size_t>(8, pool_->size())
+                           : 1);
   const std::size_t num_layers = model_.num_layers();
   agg_cache_.reserve(num_layers);
   mailboxes_.reserve(num_layers);
   for (std::size_t l = 0; l < num_layers; ++l) {
     const std::size_t dim = model_.config().layer_in_dim(l);
     agg_cache_.emplace_back(graph_.num_vertices(), dim);
-    mailboxes_.emplace_back(dim);
+    mailboxes_.emplace_back(dim, num_shards_);
   }
+  scratch_.resize(num_shards_);
+  msg_buckets_.resize(num_shards_ * num_shards_);
+  self_buckets_.resize(num_shards_ * num_shards_);
   bootstrap(features);
 }
 
@@ -119,60 +132,194 @@ void RippleEngine::update(UpdateBatch batch) {
   }
 }
 
+std::uint64_t RippleEngine::apply_shard_range(
+    std::size_t l, std::size_t shard_lo, std::size_t shard_hi,
+    const std::vector<VertexId>& order) {
+  Mailbox& mailbox = mailboxes_[l - 1];
+  Matrix& cache = agg_cache_[l - 1];
+  const Matrix& h_prev = store_.layer(l - 1);
+  Matrix& h_out = store_.layer(l);
+  const GnnLayer& layer = model_.layer(l - 1);
+  const std::size_t dim = mailbox.dim();
+  const std::size_t in_dim = model_.config().layer_in_dim(l - 1);
+  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
+  const bool is_last = l == model_.num_layers();
+  const bool gather_self = layer.uses_self();
+
+  std::uint64_t ops = 0;
+  for (std::size_t s = shard_lo; s < shard_hi; ++s) {
+    const Mailbox::Shard& shard = mailbox.shard(s);
+    if (shard.size() == 0) continue;
+    ShardScratch& scratch = scratch_[s];
+    scratch.slots = shard.sorted_slots();
+    const std::size_t rows = scratch.slots.size();
+
+    // Fold Δagg into the cache and gather the shard's Update inputs into a
+    // dense block (slot order: ascending vertex id → reproducible floats).
+    scratch.x.resize(rows, in_dim);
+    if (gather_self) scratch.h_self.resize(rows, in_dim);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint32_t slot = scratch.slots[i];
+      const VertexId v = shard.vertices[slot];
+      auto cache_row = cache.row(v);
+      if (shard.touched[slot]) {
+        vec_add(cache_row, std::span<const float>(
+                               shard.deltas.data() + slot * dim, dim));
+        ++ops;
+      }
+      auto x_row = scratch.x.row(i);
+      vec_copy(cache_row, x_row);
+      if (is_mean) {
+        const auto deg = graph_.in_degree(v);
+        if (deg > 0) {
+          vec_scale(x_row, 1.0f / static_cast<float>(deg));
+        } else {
+          vec_fill(x_row, 0.0f);
+        }
+      }
+      if (gather_self) vec_copy(h_prev.row(v), scratch.h_self.row(i));
+    }
+
+    // One blocked GEMM for the whole shard (pool=nullptr: we already run
+    // inside a pool task; ThreadPool::parallel_for would inline anyway).
+    layer.update_matrix(scratch.h_self, scratch.x, scratch.out, nullptr);
+    model_.apply_activation_matrix(l - 1, scratch.out);
+
+    // Scatter new rows into H^l; record Δh at each vertex's canonical rank
+    // for the compute phase. Slots come in ascending vertex order, so the
+    // rank search range shrinks monotonically instead of re-bisecting the
+    // whole canonical order per vertex.
+    auto rank_it = order.begin();
+    for (std::size_t i = 0; i < rows; ++i) {
+      const VertexId v = shard.vertices[scratch.slots[i]];
+      auto h_row = h_out.row(v);
+      const auto new_row = scratch.out.row(i);
+      if (!is_last) {
+        rank_it = std::lower_bound(rank_it, order.end(), v);
+        const std::size_t rank =
+            static_cast<std::size_t>(rank_it - order.begin());
+        auto delta_row = delta_block_.row(rank);
+        for (std::size_t j = 0; j < delta_row.size(); ++j) {
+          delta_row[j] = new_row[j] - h_row[j];
+        }
+        if (options_.prune_unchanged) {
+          float linf = 0;
+          for (const float d : delta_row) linf = std::max(linf, std::abs(d));
+          send_flags_[rank] = linf > options_.prune_tolerance ? 1 : 0;
+        }
+      }
+      vec_copy(new_row, h_row);
+    }
+  }
+  return ops;
+}
+
+std::uint64_t RippleEngine::bucket_sender_blocks(
+    std::size_t l, std::size_t block_lo, std::size_t block_hi,
+    const std::vector<VertexId>& order) {
+  const Mailbox& next = mailboxes_[l];
+  const bool uses_self = model_.layer(l).uses_self();
+  const std::size_t num_blocks = num_shards_;
+  std::uint64_t messages = 0;
+  // Each block is a contiguous rank range of the canonical sender list; the
+  // buckets it fills are appended in ascending-rank order, so draining
+  // blocks in index order reconstructs the global ascending-sender order.
+  for (std::size_t b = block_lo; b < block_hi; ++b) {
+    const std::size_t rank_lo = b * order.size() / num_blocks;
+    const std::size_t rank_hi = (b + 1) * order.size() / num_blocks;
+    for (std::size_t r = rank_lo; r < rank_hi; ++r) {
+      if (!send_flags_[r]) continue;
+      const VertexId v = order[r];
+      for (const Neighbor& nb : graph_.out_neighbors(v)) {
+        const std::size_t t = next.shard_of(nb.vertex);
+        msg_buckets_[b * num_shards_ + t].push_back(
+            {static_cast<std::uint32_t>(r), nb.vertex,
+             edge_alpha(nb.weight)});
+        ++messages;
+      }
+      if (uses_self) {
+        self_buckets_[b * num_shards_ + next.shard_of(v)].push_back(v);
+      }
+    }
+  }
+  return messages;
+}
+
+void RippleEngine::drain_target_shards(std::size_t l, std::size_t shard_lo,
+                                       std::size_t shard_hi) {
+  Mailbox& next = mailboxes_[l];
+  // Owner-computes: this call is the only writer of target shards
+  // [shard_lo, shard_hi). Blocks drained in index order + ascending-rank
+  // append order within each bucket = global ascending-sender order per
+  // cell, independent of shard and thread counts.
+  for (std::size_t t = shard_lo; t < shard_hi; ++t) {
+    for (std::size_t b = 0; b < num_shards_; ++b) {
+      std::vector<ScatterMsg>& msgs = msg_buckets_[b * num_shards_ + t];
+      for (const ScatterMsg& m : msgs) {
+        next.accumulate(m.target, m.alpha, delta_block_.row(m.rank), {});
+      }
+      msgs.clear();
+      std::vector<VertexId>& selfs = self_buckets_[b * num_shards_ + t];
+      for (const VertexId v : selfs) next.mark_self_changed(v);
+      selfs.clear();
+    }
+  }
+}
+
 BatchResult RippleEngine::propagate() {
   BatchResult result;
-  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
+  result.num_shards = num_shards_;
+  result.num_threads = pool_ != nullptr ? pool_->size() : 1;
   const std::size_t num_layers = model_.num_layers();
   for (std::size_t l = 1; l <= num_layers; ++l) {
     Mailbox& mailbox = mailboxes_[l - 1];
     result.propagation_tree_size += mailbox.size();
     if (l == num_layers) result.affected_final = mailbox.size();
-    Matrix& cache = agg_cache_[l - 1];
-    const Matrix& h_prev = store_.layer(l - 1);
-    Matrix& h_out = store_.layer(l);
-    const std::size_t out_dim = model_.config().layer_out_dim(l - 1);
-    x_scratch_.resize(model_.config().layer_in_dim(l - 1));
-    old_h_scratch_.resize(out_dim);
-    delta_scratch_.resize(out_dim);
+    if (mailbox.empty()) continue;
+    const bool is_last = l == num_layers;
 
-    for (const auto& [v, entry] : mailbox.entries()) {
-      // ---- apply phase ----
-      auto cache_row = cache.row(v);
-      if (entry.touched_agg) {
-        vec_add(cache_row, entry.delta_agg);
-        incremental_ops_ += 1;
-      }
-      vec_copy(cache_row, x_scratch_);
-      if (is_mean) {
-        const auto deg = graph_.in_degree(v);
-        if (deg > 0) {
-          vec_scale(x_scratch_, 1.0f / static_cast<float>(deg));
-        } else {
-          vec_fill(x_scratch_, 0.0f);
-        }
-      }
-      auto h_row = h_out.row(v);
-      vec_copy(h_row, old_h_scratch_);
-      model_.layer(l - 1).update_row(h_prev.row(v), x_scratch_, h_row);
-      model_.apply_activation_row(l - 1, h_row);
+    // Canonical sender enumeration: the affected set in ascending id order.
+    const std::vector<VertexId> order = mailbox.sorted_vertices();
+    if (!is_last) {
+      delta_block_.resize(order.size(), model_.config().layer_out_dim(l - 1));
+      send_flags_.assign(order.size(), 1);
+    }
 
-      // ---- compute phase ----
-      if (l == num_layers) continue;  // final hop: nothing downstream
-      vec_copy(h_row, delta_scratch_);
-      vec_sub(delta_scratch_, old_h_scratch_);
-      if (options_.prune_unchanged) {
-        float linf = 0;
-        for (float d : delta_scratch_) linf = std::max(linf, std::abs(d));
-        if (linf <= options_.prune_tolerance) continue;
+    // ---- apply phase: shard-parallel drain + blocked Update GEMMs ----
+    StopWatch apply_watch;
+    std::atomic<std::uint64_t> apply_ops{0};
+    const auto apply_body = [&](std::size_t lo, std::size_t hi) {
+      apply_ops.fetch_add(apply_shard_range(l, lo, hi, order),
+                          std::memory_order_relaxed);
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, num_shards_, apply_body, /*min_chunk=*/1);
+    } else {
+      apply_body(0, num_shards_);
+    }
+    incremental_ops_ += apply_ops.load(std::memory_order_relaxed);
+    result.apply_phase_sec += apply_watch.elapsed_sec();
+
+    // ---- compute phase: bucket Δh messages, then owner-computes drain ----
+    if (!is_last) {
+      StopWatch scatter_watch;
+      std::atomic<std::uint64_t> messages{0};
+      const auto bucket_body = [&](std::size_t lo, std::size_t hi) {
+        messages.fetch_add(bucket_sender_blocks(l, lo, hi, order),
+                           std::memory_order_relaxed);
+      };
+      const auto drain_body = [&](std::size_t lo, std::size_t hi) {
+        drain_target_shards(l, lo, hi);
+      };
+      if (pool_ != nullptr) {
+        pool_->parallel_for(0, num_shards_, bucket_body, /*min_chunk=*/1);
+        pool_->parallel_for(0, num_shards_, drain_body, /*min_chunk=*/1);
+      } else {
+        bucket_body(0, num_shards_);
+        drain_body(0, num_shards_);
       }
-      Mailbox& next = mailboxes_[l];
-      for (const Neighbor& nb : graph_.out_neighbors(v)) {
-        next.accumulate(nb.vertex, edge_alpha(nb.weight), delta_scratch_, {});
-        incremental_ops_ += 1;
-      }
-      if (model_.layer(l).uses_self()) {
-        next.mark_self_changed(v);
-      }
+      incremental_ops_ += messages.load(std::memory_order_relaxed);
+      result.compute_phase_sec += scatter_watch.elapsed_sec();
     }
     mailbox.clear();
   }

@@ -7,14 +7,46 @@
 //  * one mailbox per hop.
 //
 // update(batch) applies topology/feature changes at hop 0 and seeds
-// mailboxes; propagate() walks hops 1..L, each hop running an apply phase
-// (drain mailbox, adjust S, re-evaluate the Update function with one GEMV)
-// and a compute phase (emit Δh messages to out-neighbors' next-hop
-// mailboxes). Per affected vertex the aggregation work is O(k') in the
-// number of *changed* in-neighbors instead of the baselines' O(k) pull —
-// the core claim of the paper (§4.3.3).
+// mailboxes; propagate() walks hops 1..L. Per affected vertex the
+// aggregation work is O(k') in the number of *changed* in-neighbors instead
+// of the baselines' O(k) pull — the core claim of the paper (§4.3.3).
+//
+// Shard-parallel propagation core
+// -------------------------------
+// Each hop's mailbox is sharded by vertex hash (core/mailbox.h), and each
+// hop runs as two phases executed over the ThreadPool:
+//
+//  * Apply phase — shard-parallel. Each worker drains whole shards: it
+//    folds the shard's accumulated Δagg into the aggregate cache, gathers
+//    the shard's affected rows into a dense block, re-evaluates the layer
+//    Update function with ONE blocked GEMM (GnnLayer::update_matrix)
+//    instead of per-vertex GEMVs, and scatters the results back into H^l.
+//    Every vertex lives in exactly one shard, so workers write disjoint
+//    rows and no synchronization is needed.
+//
+//  * Compute phase — two lock-free stages. (1) Bucket build: the canonical
+//    sender list (the affected set in ascending id order) is split into
+//    fixed contiguous blocks; workers scan each block's out-edges ONCE and
+//    bucket (sender rank, target, α) tuples per (block, target shard).
+//    (2) Owner-computes drain: the worker that owns target shard s is the
+//    only writer of s; it drains s's buckets in block order — and within a
+//    block in the ascending-rank order the build stage appended — so every
+//    cell accumulates its Δh messages in global ascending-sender order.
+//    No locks, no atomics, and the edge list is traversed exactly once
+//    regardless of shard or thread count.
+//
+// Determinism guarantee: float accumulation order is fixed — each mailbox
+// cell has a single writer and receives its messages in ascending
+// sender-id order (contiguous blocks drained in order reconstruct the
+// global sort, independent of how senders block or targets hash to
+// shards). Embeddings are therefore bit-identical for ANY shard count and
+// ANY thread count, including the sequential 1-shard/1-thread
+// configuration (property-tested in tests/core/test_ripple_properties.cpp).
+// Per-phase timings, shard and thread counts are reported through
+// BatchResult.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/mailbox.h"
@@ -28,6 +60,12 @@ struct RippleOptions {
   // embedding equals its old one (within tolerance) sends no messages.
   bool prune_unchanged = false;
   float prune_tolerance = 0.0f;
+
+  // Mailbox shards per hop. 0 = auto: 1 without a thread pool, else
+  // max(8, pool size) so the apply/compute phases have enough independent
+  // work units to balance. Embeddings do not depend on this value (see the
+  // determinism note above) — it only shapes parallel granularity.
+  std::size_t num_shards = 0;
 };
 
 class RippleEngine : public InferenceEngine {
@@ -49,6 +87,9 @@ class RippleEngine : public InferenceEngine {
   void update(UpdateBatch batch);  // hop-0 apply + hop-1..L mailbox seeding
   BatchResult propagate();         // hops 1..L apply+compute phases
 
+  // Resolved shard count (after the num_shards=0 auto rule).
+  std::size_t num_shards() const { return num_shards_; }
+
   // Test hook: layer-l aggregate cache (l in [1, L]).
   const Matrix& aggregate_cache(std::size_t l) const {
     return agg_cache_[l - 1];
@@ -62,11 +103,36 @@ class RippleEngine : public InferenceEngine {
   std::uint64_t incremental_ops() const { return incremental_ops_; }
 
  private:
+  // Per-shard gather/compute blocks reused across hops (each shard's apply
+  // task owns exactly one scratch set, so parallel workers never share).
+  struct ShardScratch {
+    std::vector<std::uint32_t> slots;  // shard slots in ascending vertex id
+    Matrix x;       // gathered aggregate rows (mean-normalized)
+    Matrix h_self;  // gathered h^{l-1} rows (self-term layers only)
+    Matrix out;     // blocked Update output
+  };
+
   void bootstrap(const Matrix& features);
   float edge_alpha(EdgeWeight weight) const;
   void seed_edge_messages(VertexId u, VertexId v, EdgeWeight weight,
                           bool is_add);
   void apply_feature_update(const GraphUpdate& update);
+  // Apply phase of hop l for shards [shard_lo, shard_hi); returns this
+  // range's incremental-op count. `order` is the canonical (sorted)
+  // affected set; delta rows are written at each vertex's rank in it.
+  std::uint64_t apply_shard_range(std::size_t l, std::size_t shard_lo,
+                                  std::size_t shard_hi,
+                                  const std::vector<VertexId>& order);
+  // Compute-phase stage 1 of hop l: scan sender blocks [block_lo, block_hi)
+  // (contiguous rank ranges of `order`) and bucket their messages per
+  // (block, target shard); returns the range's message count.
+  std::uint64_t bucket_sender_blocks(std::size_t l, std::size_t block_lo,
+                                     std::size_t block_hi,
+                                     const std::vector<VertexId>& order);
+  // Compute-phase stage 2 of hop l: drain the buckets of target shards
+  // [shard_lo, shard_hi) of the hop-(l+1) mailbox in block order.
+  void drain_target_shards(std::size_t l, std::size_t shard_lo,
+                           std::size_t shard_hi);
 
   GnnModel model_;
   DynamicGraph graph_;
@@ -75,10 +141,21 @@ class RippleEngine : public InferenceEngine {
   std::vector<Mailbox> mailboxes_;  // [l-1] -> hop-l mailbox
   ThreadPool* pool_;
   RippleOptions options_;
+  std::size_t num_shards_ = 1;
   std::uint64_t incremental_ops_ = 0;
-  std::vector<float> x_scratch_;
-  std::vector<float> old_h_scratch_;
-  std::vector<float> delta_scratch_;
+  std::vector<ShardScratch> scratch_;     // one per shard
+  Matrix delta_block_;                    // rank-major Δh rows for one hop
+  std::vector<std::uint8_t> send_flags_;  // rank-major (pruning ablation)
+
+  // Compute-phase message buckets, flat-indexed [block * num_shards_ +
+  // target_shard]; cleared (capacity retained) every hop.
+  struct ScatterMsg {
+    std::uint32_t rank;  // sender's rank in the canonical order
+    VertexId target;
+    float alpha;
+  };
+  std::vector<std::vector<ScatterMsg>> msg_buckets_;
+  std::vector<std::vector<VertexId>> self_buckets_;
 };
 
 }  // namespace ripple

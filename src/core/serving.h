@@ -56,6 +56,13 @@ class StreamingServer {
     std::size_t batches_processed = 0;
     std::size_t label_changes = 0;
     double total_sec = 0;
+    // Propagation-core execution stats, aggregated from BatchResult: shard
+    // and thread counts of the most recent batch plus cumulative per-phase
+    // parallel timings (zero for engines without a parallel propagate).
+    std::size_t num_shards = 0;
+    std::size_t num_threads = 0;
+    double apply_phase_sec = 0;
+    double compute_phase_sec = 0;
   };
   const Stats& stats() const { return stats_; }
 

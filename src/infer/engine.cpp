@@ -26,9 +26,7 @@ std::unique_ptr<InferenceEngine> make_engine(const std::string& key,
     return std::make_unique<VertexWiseEngine>(model, snapshot, features,
                                               /*fanout=*/0, /*seed=*/99, pool);
   }
-  RIPPLE_CHECK_MSG(false, "unknown engine '" << key
-                                             << "' (ripple|rc|drc|dnc)");
-  throw check_error("unreachable");
+  throw check_error("unknown engine '" + key + "' (ripple|rc|drc|dnc)");
 }
 
 }  // namespace ripple

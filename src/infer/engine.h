@@ -27,6 +27,13 @@ struct BatchResult {
   std::size_t affected_final = 0;         // |affected set| at hop L
   double update_sec = 0;     // topology/feature application
   double propagate_sec = 0;  // embedding propagation
+  // Shard-parallel execution stats (filled by engines whose propagation
+  // phases run over the thread pool; zero means the engine does not report
+  // them — sequential engines leave the defaults).
+  std::size_t num_shards = 0;    // mailbox shards per hop
+  std::size_t num_threads = 0;   // pool width the batch ran with
+  double apply_phase_sec = 0;    // Σ hops: mailbox drain + blocked GEMMs
+  double compute_phase_sec = 0;  // Σ hops: Δh scatter into next-hop mailbox
   double total_sec() const { return update_sec + propagate_sec; }
 };
 

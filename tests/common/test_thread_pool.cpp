@@ -56,6 +56,65 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Regression: parallel_for called from inside a pool task used to submit
+  // sub-chunks and block in wait_all(), parking the worker behind its own
+  // queued tasks — a deadlock once every worker did the same. Nested calls
+  // must fall back to inline execution.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4096);
+  pool.parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        // Inner parallel_for on the SAME pool from a worker thread, with a
+        // min_chunk small enough that it would try to split.
+        pool.parallel_for(
+            lo, hi,
+            [&](std::size_t ilo, std::size_t ihi) {
+              for (std::size_t i = ilo; i < ihi; ++i) hits[i].fetch_add(1);
+            },
+            1);
+      },
+      64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());  // caller is not a worker
+  std::atomic<int> inside{0};
+  pool.submit([&] { inside.store(pool.on_worker_thread() ? 1 : -1); });
+  pool.wait_all();
+  EXPECT_EQ(inside.load(), 1);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForTerminates) {
+  // Same-pool nesting three levels deep: every nested level must inline.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(
+      0, 8,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          pool.parallel_for(
+              0, 4,
+              [&](std::size_t jlo, std::size_t jhi) {
+                for (std::size_t j = jlo; j < jhi; ++j) {
+                  pool.parallel_for(
+                      0, 2,
+                      [&](std::size_t klo, std::size_t khi) {
+                        total.fetch_add(static_cast<int>(khi - klo));
+                      },
+                      1);
+                }
+              },
+              1);
+        }
+      },
+      1);
+  EXPECT_EQ(total.load(), 8 * 4 * 2);
+}
+
 TEST(ThreadPool, ParallelForSumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<long long> values(50000);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace ripple {
 namespace {
 
@@ -87,6 +90,106 @@ TEST(Mailbox, BytesGrowWithEntries) {
   box.entry(1);
   box.entry(2);
   EXPECT_GT(box.bytes(), empty_bytes);
+}
+
+TEST(Mailbox, BytesCountHashMapOverhead) {
+  // The index maps allocate one node per cell plus a bucket array; bytes()
+  // must exceed the raw dense payload (delta floats + vertex ids + flags).
+  Mailbox box(16, 4);
+  for (VertexId v = 0; v < 64; ++v) box.entry(v);
+  const std::size_t dense_payload =
+      64 * (16 * sizeof(float) + sizeof(VertexId) + 2);
+  EXPECT_GT(box.bytes(), dense_payload);
+}
+
+TEST(Mailbox, ShardOfIsStableAndInRange) {
+  Mailbox box(2, 8);
+  EXPECT_EQ(box.num_shards(), 8u);
+  for (VertexId v = 0; v < 1000; ++v) {
+    const auto s = box.shard_of(v);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, box.shard_of(v));  // pure function of (v, num_shards)
+  }
+}
+
+TEST(Mailbox, ShardSizesSumToTotal) {
+  Mailbox box(2, 4);
+  const std::vector<float> h = {1.0f, 2.0f};
+  for (VertexId v = 0; v < 100; ++v) box.accumulate(v, 1.0f, h, {});
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < box.num_shards(); ++s) {
+    total += box.shard(s).size();
+    for (const VertexId v : box.shard(s).vertices) {
+      EXPECT_EQ(box.shard_of(v), s);
+    }
+  }
+  EXPECT_EQ(total, box.size());
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Mailbox, ShardedAccumulationMatchesFlat) {
+  // The same message sequence must produce bit-identical cells for any
+  // shard count (sharding only changes placement, never values).
+  Mailbox flat(3, 1);
+  Mailbox sharded(3, 8);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<VertexId>((i * 37) % 50);
+    const float alpha = 0.5f + 0.01f * static_cast<float>(i % 7);
+    const std::vector<float> h_new = {1.1f * i, -0.3f * i, 2.0f};
+    const std::vector<float> h_old = {0.2f * i, 0.0f, -1.0f};
+    flat.accumulate(v, alpha, h_new, h_old);
+    sharded.accumulate(v, alpha, h_new, h_old);
+  }
+  ASSERT_EQ(flat.size(), sharded.size());
+  for (const VertexId v : flat.sorted_vertices()) {
+    ASSERT_TRUE(sharded.contains(v));
+    const auto a = flat.entry(v);
+    const auto b = sharded.entry(v);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(a.delta_agg[j], b.delta_agg[j]) << "v=" << v << " j=" << j;
+    }
+  }
+}
+
+TEST(Mailbox, SortedVerticesAscendingAndComplete) {
+  Mailbox box(1, 8);
+  const std::vector<VertexId> inserted = {90, 3, 41, 7, 500, 12, 0};
+  for (const VertexId v : inserted) {
+    box.accumulate(v, 1.0f, std::vector<float>{1.0f}, {});
+  }
+  const auto order = box.sorted_vertices();
+  ASSERT_EQ(order.size(), inserted.size());
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  for (const VertexId v : inserted) {
+    EXPECT_TRUE(std::binary_search(order.begin(), order.end(), v));
+  }
+}
+
+TEST(Mailbox, SortedSlotsOrderShardByVertexId) {
+  Mailbox box(1, 2);
+  for (const VertexId v : {44, 2, 17, 100, 5}) {
+    box.mark_self_changed(v);
+  }
+  for (std::size_t s = 0; s < box.num_shards(); ++s) {
+    const auto& shard = box.shard(s);
+    const auto slots = shard.sorted_slots();
+    ASSERT_EQ(slots.size(), shard.size());
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      EXPECT_LT(shard.vertices[slots[i - 1]], shard.vertices[slots[i]]);
+    }
+  }
+}
+
+TEST(Mailbox, ClearRetainsShardStructure) {
+  Mailbox box(2, 4);
+  box.accumulate(1, 1.0f, std::vector<float>{1.0f, 2.0f}, {});
+  box.clear();
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.num_shards(), 4u);
+  // Usable again after clear.
+  box.accumulate(9, 1.0f, std::vector<float>{3.0f, 4.0f}, {});
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_FLOAT_EQ(box.entry(9).delta_agg[1], 4.0f);
 }
 
 }  // namespace

@@ -6,11 +6,17 @@
 //  3. Batching invariance: one batch of N updates == N batches of 1.
 //  4. Benefit model: incremental op count stays far below the recompute
 //     op count on high-degree graphs (§4.3.3).
+//  5. Determinism: the shard-parallel propagation core produces
+//     bit-identical embeddings and identical BatchResult counters for any
+//     shard count and any thread count (the sequential 1-shard/no-pool
+//     configuration is the reference).
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <tuple>
 
 #include "../test_util.h"
+#include "common/thread_pool.h"
 #include "core/ripple_engine.h"
 #include "infer/recompute.h"
 #include "infer/affected.h"
@@ -170,6 +176,96 @@ TEST(RippleProperties, IncrementalOpsBeatRecomputeOnDenseGraph) {
   }
   // §4.3.3: k' << k, so Ripple's op count must be well below RC's.
   EXPECT_LT(engine.incremental_ops(), rc_pull_ops / 2);
+}
+
+TEST(RippleDeterminism, BitIdenticalForAnyShardAndThreadCount) {
+  // The shard-parallel core fixes float accumulation order (canonical
+  // ascending-sender-id message order, single writer per mailbox shard), so
+  // embeddings must match the sequential reference EXACTLY — zero
+  // tolerance — for every shard count and thread count, and the BatchResult
+  // counters and the incremental-op tally must be identical too.
+  // Covers a no-self-term workload (GC), a self-term one (SAGE), and the
+  // mean aggregator whose apply phase divides by the live in-degree.
+  const std::size_t hardware =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  ThreadPool pool(std::max<std::size_t>(4, hardware));
+  for (const Workload workload :
+       {Workload::gc_s, Workload::gs_s, Workload::gc_m}) {
+    auto graph = testing::random_graph(80, 600, 910);
+    const auto features = testing::random_features(80, 8, 911);
+    const auto config = workload_config(workload, 8, 4, 3, 12);
+    const auto model = GnnModel::random(config, 912);
+
+    StreamConfig stream_config;
+    stream_config.num_updates = 120;
+    stream_config.feat_dim = 8;
+    stream_config.seed = 913;
+    const auto stream = generate_stream(graph, stream_config);
+
+    // Sequential reference: one shard, no pool.
+    RippleOptions ref_options;
+    ref_options.num_shards = 1;
+    RippleEngine reference(model, graph, features, nullptr, ref_options);
+    std::vector<BatchResult> ref_results;
+    for (const auto& batch : make_batches(stream, 10)) {
+      ref_results.push_back(reference.apply_batch(batch));
+    }
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{8}}) {
+      for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+        RippleOptions options;
+        options.num_shards = shards;
+        RippleEngine engine(model, graph, features, p, options);
+        EXPECT_EQ(engine.num_shards(), shards);
+        std::size_t b = 0;
+        for (const auto& batch : make_batches(stream, 10)) {
+          const BatchResult result = engine.apply_batch(batch);
+          ASSERT_EQ(result.propagation_tree_size,
+                    ref_results[b].propagation_tree_size)
+              << workload_name(workload) << " shards=" << shards
+              << " pooled=" << (p != nullptr) << " batch=" << b;
+          ASSERT_EQ(result.affected_final, ref_results[b].affected_final)
+              << workload_name(workload) << " shards=" << shards
+              << " pooled=" << (p != nullptr) << " batch=" << b;
+          ++b;
+        }
+        EXPECT_EQ(testing::max_store_diff(reference.embeddings(),
+                                          engine.embeddings()),
+                  0.0f)
+            << workload_name(workload) << " shards=" << shards
+            << " pooled=" << (p != nullptr);
+        EXPECT_EQ(engine.incremental_ops(), reference.incremental_ops())
+            << workload_name(workload) << " shards=" << shards
+            << " pooled=" << (p != nullptr);
+      }
+    }
+  }
+}
+
+TEST(RippleDeterminism, BatchResultReportsShardAndThreadStats) {
+  ThreadPool pool(2);
+  auto graph = testing::random_graph(40, 300, 920);
+  const auto features = testing::random_features(40, 6, 921);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2, 8);
+  const auto model = GnnModel::random(config, 922);
+
+  RippleEngine engine(model, graph, features, &pool);  // num_shards auto
+  EXPECT_EQ(engine.num_shards(), 8u);  // auto rule: max(8, pool size)
+
+  StreamConfig stream_config;
+  stream_config.num_updates = 20;
+  stream_config.feat_dim = 6;
+  stream_config.seed = 923;
+  auto working = graph;
+  const auto stream = generate_stream(working, stream_config);
+  const BatchResult result = engine.apply_batch(stream);
+  EXPECT_EQ(result.num_shards, 8u);
+  EXPECT_EQ(result.num_threads, 2u);
+  // Phase timings nest inside the propagate phase.
+  EXPECT_GT(result.apply_phase_sec, 0.0);
+  EXPECT_LE(result.apply_phase_sec + result.compute_phase_sec,
+            result.propagate_sec + 1e-6);
 }
 
 TEST(RippleProperties, StressManyBatchesNoDrift) {
