@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   const double scale = flags.get_double("scale", quick ? 0.05 : 0.15);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   set_log_level(log_level::warn);
+#if RIPPLE_HAS_DIST
+  set_transport_options(TransportOptions::from_flags(flags));
+#endif
 
   // ---- 1. Pruning ablation ----
   bench::print_header("Ablation 1: zero-delta pruning (paper default: off)");

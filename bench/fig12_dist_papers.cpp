@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       "partitions", quick ? std::vector<std::int64_t>{4, 8}
                           : std::vector<std::int64_t>{4, 8, 16});
   set_log_level(log_level::warn);
+  set_transport_options(TransportOptions::from_flags(flags));
 
   bench::print_header("Fig. 12: distributed Ripple vs RC on Papers analogue");
   const auto prepared = bench::prepare("papers-s", scale, quick ? 800 : 4000,

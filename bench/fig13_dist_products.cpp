@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       "partitions", quick ? std::vector<std::int64_t>{2, 4}
                           : std::vector<std::int64_t>{2, 4, 8});
   set_log_level(log_level::warn);
+  set_transport_options(TransportOptions::from_flags(flags));
 
   bench::print_header(
       "Fig. 13: distributed GC-S-3L on Products analogue");

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, and run the full ctest suite.
+# CI entry point: configure, build, then run the test tiers.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+# Fast failure first: the unit tier is cheap and catches most breakage.
+ctest --test-dir build -L unit --output-on-failure -j "$(nproc)"
+# Remaining tiers (integration + dist) — each test runs exactly once.
+ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"

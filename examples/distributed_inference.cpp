@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("partitions", 4));
   const auto updates = static_cast<std::size_t>(flags.get_int("updates", 1200));
   set_log_level(log_level::warn);
+  set_transport_options(TransportOptions::from_flags(flags));
 
   std::printf("building papers-s analogue...\n");
   auto ds = build_dataset("papers-s", 0.08, 7);

@@ -71,10 +71,7 @@ class Mailbox {
   // insertion history — the owner-computes contract of the compute phase.
   std::size_t shard_of(VertexId v) const {
     if (shards_.size() == 1) return 0;
-    // Fibonacci multiplicative hash: spreads dense sequential ids.
-    const std::uint64_t h =
-        static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ull;
-    return static_cast<std::size_t>(h >> 32) % shards_.size();
+    return fib_spread(v, shards_.size());
   }
 
   // Accumulates alpha * (h_new - h_old) into v's cell. h_old may be empty

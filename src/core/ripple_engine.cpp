@@ -6,7 +6,9 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/hop_kernel.h"
 #include "infer/layerwise.h"
+#include "stream/update_apply.h"
 
 namespace ripple {
 
@@ -48,29 +50,7 @@ float RippleEngine::edge_alpha(EdgeWeight weight) const {
 
 void RippleEngine::bootstrap(const Matrix& features) {
   store_.features() = features;
-  // Caches hold raw (weighted) sums; mean's 1/deg normalization happens at
-  // evaluation so degree changes never invalidate the cache.
-  const AggregatorKind cache_kind =
-      model_.config().aggregator == AggregatorKind::weighted_sum
-          ? AggregatorKind::weighted_sum
-          : AggregatorKind::sum;
-  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
-  Matrix x_actual;
-  for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-    aggregate_all(cache_kind, graph_, store_.layer(l), agg_cache_[l]);
-    const Matrix* x = &agg_cache_[l];
-    if (is_mean) {
-      x_actual = agg_cache_[l];
-      for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-        const auto deg = graph_.in_degree(v);
-        if (deg > 0) vec_scale(x_actual.row(v), 1.0f / static_cast<float>(deg));
-      }
-      x = &x_actual;
-    }
-    model_.layer(l).update_matrix(store_.layer(l), *x, store_.layer(l + 1),
-                                  pool_);
-    model_.apply_activation_matrix(l, store_.layer(l + 1));
-  }
+  bootstrap_with_caches(model_, graph_, store_, agg_cache_, pool_);
 }
 
 void RippleEngine::seed_edge_messages(VertexId u, VertexId v,
@@ -110,106 +90,43 @@ void RippleEngine::apply_feature_update(const GraphUpdate& update) {
 }
 
 void RippleEngine::update(UpdateBatch batch) {
-  for (const GraphUpdate& u : batch) {
-    switch (u.kind) {
-      case UpdateKind::edge_add:
-        // Topology first: the compute phases must see the new edge.
-        if (graph_.add_edge(u.u, u.v, u.weight)) {
-          seed_edge_messages(u.u, u.v, u.weight, /*is_add=*/true);
-        }
-        break;
-      case UpdateKind::edge_del: {
-        if (!graph_.has_edge(u.u, u.v)) break;
-        const EdgeWeight old_weight = graph_.edge_weight(u.u, u.v);
-        RIPPLE_CHECK(graph_.remove_edge(u.u, u.v));
-        seed_edge_messages(u.u, u.v, old_weight, /*is_add=*/false);
-        break;
-      }
-      case UpdateKind::vertex_feature:
-        apply_feature_update(u);
-        break;
-    }
-  }
+  apply_updates_seeding(
+      graph_, batch,
+      [this](VertexId u, VertexId v, EdgeWeight weight, bool is_add) {
+        seed_edge_messages(u, v, weight, is_add);
+      },
+      [this](const GraphUpdate& update) { apply_feature_update(update); });
 }
 
 std::uint64_t RippleEngine::apply_shard_range(
     std::size_t l, std::size_t shard_lo, std::size_t shard_hi,
     const std::vector<VertexId>& order) {
   Mailbox& mailbox = mailboxes_[l - 1];
-  Matrix& cache = agg_cache_[l - 1];
-  const Matrix& h_prev = store_.layer(l - 1);
-  Matrix& h_out = store_.layer(l);
-  const GnnLayer& layer = model_.layer(l - 1);
-  const std::size_t dim = mailbox.dim();
-  const std::size_t in_dim = model_.config().layer_in_dim(l - 1);
-  const bool is_mean = model_.config().aggregator == AggregatorKind::mean;
   const bool is_last = l == model_.num_layers();
-  const bool gather_self = layer.uses_self();
 
   std::uint64_t ops = 0;
   for (std::size_t s = shard_lo; s < shard_hi; ++s) {
     const Mailbox::Shard& shard = mailbox.shard(s);
     if (shard.size() == 0) continue;
-    ShardScratch& scratch = scratch_[s];
-    scratch.slots = shard.sorted_slots();
-    const std::size_t rows = scratch.slots.size();
-
-    // Fold Δagg into the cache and gather the shard's Update inputs into a
-    // dense block (slot order: ascending vertex id → reproducible floats).
-    scratch.x.resize(rows, in_dim);
-    if (gather_self) scratch.h_self.resize(rows, in_dim);
-    for (std::size_t i = 0; i < rows; ++i) {
-      const std::uint32_t slot = scratch.slots[i];
-      const VertexId v = shard.vertices[slot];
-      auto cache_row = cache.row(v);
-      if (shard.touched[slot]) {
-        vec_add(cache_row, std::span<const float>(
-                               shard.deltas.data() + slot * dim, dim));
-        ++ops;
-      }
-      auto x_row = scratch.x.row(i);
-      vec_copy(cache_row, x_row);
-      if (is_mean) {
-        const auto deg = graph_.in_degree(v);
-        if (deg > 0) {
-          vec_scale(x_row, 1.0f / static_cast<float>(deg));
-        } else {
-          vec_fill(x_row, 0.0f);
+    // Record Δh at each vertex's canonical rank for the compute phase; the
+    // pruning ablation layers its send-flag decision on top.
+    const RankDeltaSink delta_sink(order, delta_block_);
+    const auto sink = [&](VertexId v, std::span<const float> new_row,
+                          std::span<const float> old_row) {
+      delta_sink(v, new_row, old_row);
+      if (options_.prune_unchanged) {
+        const std::size_t rank = delta_sink.last_rank();
+        float linf = 0;
+        for (const float d : delta_block_.row(rank)) {
+          linf = std::max(linf, std::abs(d));
         }
+        send_flags_[rank] = linf > options_.prune_tolerance ? 1 : 0;
       }
-      if (gather_self) vec_copy(h_prev.row(v), scratch.h_self.row(i));
-    }
-
-    // One blocked GEMM for the whole shard (pool=nullptr: we already run
-    // inside a pool task; ThreadPool::parallel_for would inline anyway).
-    layer.update_matrix(scratch.h_self, scratch.x, scratch.out, nullptr);
-    model_.apply_activation_matrix(l - 1, scratch.out);
-
-    // Scatter new rows into H^l; record Δh at each vertex's canonical rank
-    // for the compute phase. Slots come in ascending vertex order, so the
-    // rank search range shrinks monotonically instead of re-bisecting the
-    // whole canonical order per vertex.
-    auto rank_it = order.begin();
-    for (std::size_t i = 0; i < rows; ++i) {
-      const VertexId v = shard.vertices[scratch.slots[i]];
-      auto h_row = h_out.row(v);
-      const auto new_row = scratch.out.row(i);
-      if (!is_last) {
-        rank_it = std::lower_bound(rank_it, order.end(), v);
-        const std::size_t rank =
-            static_cast<std::size_t>(rank_it - order.begin());
-        auto delta_row = delta_block_.row(rank);
-        for (std::size_t j = 0; j < delta_row.size(); ++j) {
-          delta_row[j] = new_row[j] - h_row[j];
-        }
-        if (options_.prune_unchanged) {
-          float linf = 0;
-          for (const float d : delta_row) linf = std::max(linf, std::abs(d));
-          send_flags_[rank] = linf > options_.prune_tolerance ? 1 : 0;
-        }
-      }
-      vec_copy(new_row, h_row);
-    }
+    };
+    ops += apply_hop_shard(model_, l, graph_, shard, mailbox.dim(),
+                           agg_cache_[l - 1], store_.layer(l - 1),
+                           store_.layer(l), scratch_[s],
+                           is_last ? nullptr : &sink);
   }
   return ops;
 }
@@ -279,7 +196,9 @@ BatchResult RippleEngine::propagate() {
     const bool is_last = l == num_layers;
 
     // Canonical sender enumeration: the affected set in ascending id order.
-    const std::vector<VertexId> order = mailbox.sorted_vertices();
+    // The last hop emits no messages, so it skips the sort entirely.
+    const std::vector<VertexId> order =
+        is_last ? std::vector<VertexId>{} : mailbox.sorted_vertices();
     if (!is_last) {
       delta_block_.resize(order.size(), model_.config().layer_out_dim(l - 1));
       send_flags_.assign(order.size(), 1);

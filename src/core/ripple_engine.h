@@ -49,6 +49,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/hop_kernel.h"
 #include "core/mailbox.h"
 #include "infer/engine.h"
 
@@ -103,15 +104,6 @@ class RippleEngine : public InferenceEngine {
   std::uint64_t incremental_ops() const { return incremental_ops_; }
 
  private:
-  // Per-shard gather/compute blocks reused across hops (each shard's apply
-  // task owns exactly one scratch set, so parallel workers never share).
-  struct ShardScratch {
-    std::vector<std::uint32_t> slots;  // shard slots in ascending vertex id
-    Matrix x;       // gathered aggregate rows (mean-normalized)
-    Matrix h_self;  // gathered h^{l-1} rows (self-term layers only)
-    Matrix out;     // blocked Update output
-  };
-
   void bootstrap(const Matrix& features);
   float edge_alpha(EdgeWeight weight) const;
   void seed_edge_messages(VertexId u, VertexId v, EdgeWeight weight,
@@ -143,7 +135,9 @@ class RippleEngine : public InferenceEngine {
   RippleOptions options_;
   std::size_t num_shards_ = 1;
   std::uint64_t incremental_ops_ = 0;
-  std::vector<ShardScratch> scratch_;     // one per shard
+  // Per-shard gather/compute blocks reused across hops (each shard's apply
+  // task owns exactly one scratch set, so parallel workers never share).
+  std::vector<HopShardScratch> scratch_;  // one per shard
   Matrix delta_block_;                    // rank-major Δh rows for one hop
   std::vector<std::uint8_t> send_flags_;  // rank-major (pruning ablation)
 

@@ -1,0 +1,51 @@
+// Shared BSP cost-accounting helpers for the distributed engines. Both
+// engines must model parallel machines the same way, or the RC-vs-Ripple
+// comparisons in the dist benches measure accounting skew instead of
+// protocol differences — so the conventions live here once.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "dist/transport.h"
+#include "stream/update.h"
+
+namespace ripple {
+
+// Runs body(p) for every partition — over the pool when available — and
+// returns the slowest partition's elapsed seconds: the modeled parallel
+// compute cost of the phase. body must only write partition-owned state.
+template <typename Body>
+double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
+                        const Body& body) {
+  std::vector<double> elapsed(num_parts, 0.0);
+  const auto timed = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      StopWatch watch;
+      body(p);
+      elapsed[p] = watch.elapsed_sec();
+    }
+  };
+  if (pool != nullptr && num_parts > 1) {
+    pool->parallel_for(0, num_parts, timed, /*min_chunk=*/1);
+  } else {
+    timed(0, num_parts);
+  }
+  return *std::max_element(elapsed.begin(), elapsed.end());
+}
+
+// Ingress routing: the leader (partition 0) ships the batch to every other
+// replica, one combined message per partition. With one partition nothing
+// touches the wire.
+inline void route_batch(SimTransport& transport, UpdateBatch batch) {
+  if (transport.num_parts() <= 1 || batch.empty()) return;
+  std::size_t batch_bytes = 0;
+  for (const GraphUpdate& update : batch) batch_bytes += update.wire_bytes();
+  for (std::size_t p = 1; p < transport.num_parts(); ++p) {
+    transport.send_opaque(0, p, batch_bytes);
+  }
+}
+
+}  // namespace ripple

@@ -1,0 +1,25 @@
+#include "dist/dist_engine.h"
+
+#include "common/check.h"
+#include "dist/dist_recompute.h"
+#include "dist/dist_ripple.h"
+
+namespace ripple {
+
+std::unique_ptr<DistEngineBase> make_dist_engine(
+    const std::string& key, const GnnModel& model,
+    const DynamicGraph& snapshot, const Matrix& features,
+    const Partition& partition, ThreadPool* pool,
+    const TransportOptions& options) {
+  if (key == "ripple") {
+    return std::make_unique<DistRippleEngine>(model, snapshot, features,
+                                              partition, pool, options);
+  }
+  if (key == "rc") {
+    return std::make_unique<DistRecomputeEngine>(model, snapshot, features,
+                                                 partition, pool, options);
+  }
+  throw check_error("unknown dist engine '" + key + "' (ripple|rc)");
+}
+
+}  // namespace ripple

@@ -1,0 +1,77 @@
+// Distributed streaming inference runtime (§5): partition-owned engines
+// driven over a simulated message-passing transport.
+//
+// Ownership model (owner-computes): the partition owning a vertex is the
+// single writer of its embedding rows, aggregate-cache rows, and mailbox
+// cells. Updates enter at an ingress leader (partition 0) and are routed to
+// the replicas; per hop, each partition drains its own mailbox, and only
+// cross-partition Δh travels over the wire. See src/dist/README.md for the
+// full protocol and the cost model.
+//
+// Exactness contract: for ANY partition count and ANY thread count, both
+// engines produce embeddings bit-identical to their single-machine
+// counterparts (RippleEngine / RecomputeEngine) — property-tested in
+// tests/dist/test_dist_engine.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/transport.h"
+#include "gnn/model.h"
+#include "graph/dynamic_graph.h"
+#include "partition/partition.h"
+#include "stream/update.h"
+
+namespace ripple {
+
+class ThreadPool;
+
+// Per-batch outcome of a distributed engine: the compute/comm split and the
+// wire counters behind Figs. 12–13. compute_sec models P machines running
+// in parallel (sum over supersteps of the slowest partition); comm_sec is
+// the transport cost model's total for the batch.
+struct DistBatchResult {
+  std::size_t batch_size = 0;
+  std::size_t num_parts = 0;
+  std::size_t propagation_tree_size = 0;  // Σ over hops of |affected set|
+  std::size_t affected_final = 0;         // |affected set| at hop L
+  double compute_sec = 0;
+  double comm_sec = 0;
+  std::size_t wire_bytes = 0;     // payload + headers, all supersteps
+  std::size_t wire_messages = 0;  // messages across all supersteps
+  double total_sec() const { return compute_sec + comm_sec; }
+};
+
+class DistEngineBase {
+ public:
+  virtual ~DistEngineBase() = default;
+
+  virtual const char* name() const = 0;
+
+  // Applies one batch across all partitions and brings every owned
+  // embedding up to date.
+  virtual DistBatchResult apply_batch(UpdateBatch batch) = 0;
+
+  // Collects every partition's owned rows at the leader (H^0..H^L union).
+  // Wire cost of the gather is not charged to any batch — it is a
+  // diagnostic/serving operation outside the streaming loop.
+  virtual EmbeddingStore gather_embeddings() const = 0;
+
+  virtual const Partition& partition() const = 0;
+  virtual const DynamicGraph& graph() const = 0;
+  virtual const GnnModel& model() const = 0;
+
+  // Resident bytes across all partitions (embeddings + caches + mailboxes).
+  virtual std::size_t memory_bytes() const = 0;
+};
+
+// Factory keys used by the dist benches: "ripple" (incremental,
+// delta-shipping) and "rc" (full recompute, halo-pulling).
+std::unique_ptr<DistEngineBase> make_dist_engine(
+    const std::string& key, const GnnModel& model,
+    const DynamicGraph& snapshot, const Matrix& features,
+    const Partition& partition, ThreadPool* pool = nullptr,
+    const TransportOptions& options = default_transport_options());
+
+}  // namespace ripple

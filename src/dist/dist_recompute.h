@@ -1,0 +1,53 @@
+// Distributed full-recompute baseline (§5): RC promoted to partition-owned
+// execution.
+//
+// Per hop, every partition recomputes the embeddings of its OWNED affected
+// vertices by pulling ALL of their in-neighbors' previous-layer rows — and
+// every in-neighbor owned elsewhere must be fetched over the wire (once per
+// requesting partition per hop). This is the communication profile the
+// paper contrasts with Ripple's delta shipping: the pull set grows with the
+// affected frontier and the full embedding width, not with the changed set.
+//
+// Exactness: each recomputed row is the same pure function of the same
+// inputs as single-machine RecomputeEngine evaluates, so embeddings are
+// bit-identical to RC for any partition count and any thread count.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_engine.h"
+
+namespace ripple {
+
+class DistRecomputeEngine : public DistEngineBase {
+ public:
+  DistRecomputeEngine(const GnnModel& model, DynamicGraph snapshot,
+                      const Matrix& features, Partition partition,
+                      ThreadPool* pool, const TransportOptions& options);
+
+  const char* name() const override { return "dist-RC"; }
+  DistBatchResult apply_batch(UpdateBatch batch) override;
+  EmbeddingStore gather_embeddings() const override { return store_; }
+  const Partition& partition() const override { return partition_; }
+  const DynamicGraph& graph() const override { return graph_; }
+  const GnnModel& model() const override { return model_; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  std::uint32_t owner(VertexId v) const { return partition_.part_of(v); }
+
+  GnnModel model_;
+  DynamicGraph graph_;  // replicated topology (one shared copy in-process)
+  Partition partition_;
+  EmbeddingStore store_;  // union of owned rows; single writer = owner
+  SimTransport transport_;
+  ThreadPool* pool_;
+
+  // Per-partition scratch: the pull buffer and the fetch-dedup epoch stamp
+  // (a remote row is fetched once per partition per hop).
+  std::vector<std::vector<float>> x_scratch_;
+  std::vector<std::vector<std::uint32_t>> fetch_stamp_;
+  std::uint32_t fetch_epoch_ = 0;
+};
+
+}  // namespace ripple

@@ -1,0 +1,254 @@
+#include "dist/dist_ripple.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "dist/bsp.h"
+#include "stream/update_apply.h"
+
+namespace ripple {
+
+namespace {
+// Shards per partition-local mailbox: a small fixed fan-out keeps the
+// sharded drain path exercised without per-partition tuning (embeddings do
+// not depend on this value — see the determinism note in core/mailbox.h).
+constexpr std::size_t kShardsPerPart = 4;
+}  // namespace
+
+DistRippleEngine::DistRippleEngine(const GnnModel& model,
+                                   DynamicGraph snapshot,
+                                   const Matrix& features, Partition partition,
+                                   ThreadPool* pool,
+                                   const TransportOptions& options)
+    : model_(model), graph_(std::move(snapshot)),
+      partition_(std::move(partition)),
+      store_(model.config(), graph_.num_vertices()),
+      transport_(partition_.num_parts(), options), pool_(pool) {
+  RIPPLE_CHECK_MSG(is_linear(model_.config().aggregator),
+                   "Ripple requires a linear aggregation function; got "
+                       << aggregator_name(model_.config().aggregator));
+  RIPPLE_CHECK(features.rows() == graph_.num_vertices());
+  RIPPLE_CHECK_MSG(partition_.num_vertices() <= graph_.num_vertices(),
+                   "partition covers more vertices than the snapshot");
+  const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
+  mailboxes_.reserve(num_parts * num_layers);
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      mailboxes_.emplace_back(model_.config().layer_in_dim(l),
+                              kShardsPerPart);
+    }
+  }
+  scratch_.resize(num_parts);
+  senders_.resize(num_parts);
+  delta_.resize(num_parts);
+  merge_.resize(num_parts);
+  remote_mask_.resize(num_parts);
+  store_.features() = features;
+  bootstrap_with_caches(model_, graph_, store_, agg_cache_, pool_);
+}
+
+float DistRippleEngine::edge_alpha(EdgeWeight weight) const {
+  return model_.config().aggregator == AggregatorKind::weighted_sum
+             ? weight
+             : 1.0f;
+}
+
+void DistRippleEngine::seed_edge_messages(VertexId u, VertexId v,
+                                          EdgeWeight weight, bool is_add) {
+  const std::uint32_t pu = owner(u);
+  const std::uint32_t pv = owner(v);
+  if (pu != pv && is_add) {
+    // Halo fetch — only when this add puts u into pv's halo for the first
+    // time. While any u->pv edge exists, pv's halo copy of u's rows stays
+    // fresh for free: the exchange ships u's Δh to pv whenever u changes.
+    // Deletions therefore never fetch (the copy is already local), and
+    // repeated adds toward the same partition dedupe naturally.
+    bool haloed = false;
+    for (const Neighbor& nb : graph_.out_neighbors(u)) {
+      if (nb.vertex != v && owner(nb.vertex) == pv) {
+        haloed = true;
+        break;
+      }
+    }
+    if (!haloed) {
+      std::size_t bytes = 0;
+      for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+        bytes += model_.config().embedding_dim(l) * sizeof(float);
+      }
+      transport_.send_opaque(pu, pv, bytes);
+    }
+  }
+  const float alpha = edge_alpha(weight);
+  for (std::size_t l = 1; l <= model_.num_layers(); ++l) {
+    const auto h_u = store_.layer(l - 1).row(u);
+    if (is_add) {
+      mailbox(pv, l).accumulate(v, alpha, h_u, {});
+    } else {
+      mailbox(pv, l).accumulate(v, alpha, {}, h_u);
+    }
+  }
+}
+
+void DistRippleEngine::apply_feature_update(const GraphUpdate& update) {
+  RIPPLE_CHECK_MSG(update.new_features.size() == store_.features().cols(),
+                   "feature width mismatch");
+  const VertexId u = update.u;
+  const std::uint32_t pu = owner(u);
+  // One combined (x_new, x_old) message per remote partition owning at
+  // least one out-neighbor; local sinks are seeded for free.
+  for_each_remote_owner(u, pu, [&](std::size_t p) {
+    transport_.send_opaque(pu, p,
+                           2 * update.new_features.size() * sizeof(float));
+  });
+  const auto old_row = store_.features().row(u);
+  for (const Neighbor& nb : graph_.out_neighbors(u)) {
+    mailbox(owner(nb.vertex), 1)
+        .accumulate(nb.vertex, edge_alpha(nb.weight), update.new_features,
+                    old_row);
+  }
+  if (model_.layer(0).uses_self()) {
+    mailbox(pu, 1).mark_self_changed(u);
+  }
+  vec_copy(update.new_features, store_.features().row(u));
+}
+
+double DistRippleEngine::update_phase(UpdateBatch batch) {
+  route_batch(transport_, batch);
+  // Every replica applies the batch to its topology copy concurrently; the
+  // serial wall time below is one replica's worth of work, i.e. the modeled
+  // parallel cost. The shared update operator preserves batch order, so
+  // each mailbox cell accumulates its seeds in exactly the single-machine
+  // order.
+  StopWatch watch;
+  apply_updates_seeding(
+      graph_, batch,
+      [this](VertexId u, VertexId v, EdgeWeight weight, bool is_add) {
+        seed_edge_messages(u, v, weight, is_add);
+      },
+      [this](const GraphUpdate& update) { apply_feature_update(update); });
+  return watch.elapsed_sec();
+}
+
+DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
+  DistBatchResult result;
+  result.batch_size = batch.size();
+  result.num_parts = partition_.num_parts();
+  const std::size_t wire_bytes_before = transport_.wire_bytes();
+  const std::size_t wire_messages_before = transport_.wire_messages();
+  const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
+
+  // ---- superstep U: routing + halo fetches + hop-0 seeding ----
+  transport_.begin_superstep();
+  result.compute_sec += update_phase(batch);
+  result.comm_sec += transport_.end_superstep();
+
+  // ---- hops 1..L: apply / exchange / seed supersteps ----
+  for (std::size_t l = 1; l <= num_layers; ++l) {
+    std::size_t hop_cells = 0;
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      hop_cells += mailbox(p, l).size();
+    }
+    result.propagation_tree_size += hop_cells;
+    if (l == num_layers) result.affected_final = hop_cells;
+    if (hop_cells == 0) continue;
+    const bool is_last = l == num_layers;
+    const std::size_t delta_dim = model_.config().layer_out_dim(l - 1);
+
+    // Apply: every partition drains its own mailbox with the shared hop
+    // kernel; Δh lands at each vertex's rank in the partition's sorted
+    // sender list. Owner-computes: partitions write disjoint rows.
+    result.compute_sec += timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+      Mailbox& box = mailbox(p, l);
+      // The last hop emits no messages: skip the sender sort and deltas.
+      senders_[p] = is_last ? std::vector<VertexId>{} : box.sorted_vertices();
+      if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
+      for (std::size_t s = 0; s < box.num_shards(); ++s) {
+        const Mailbox::Shard& shard = box.shard(s);
+        if (shard.size() == 0) continue;
+        const RankDeltaSink sink(senders_[p], delta_[p]);
+        apply_hop_shard(model_, l, graph_, shard, box.dim(), agg_cache_[l - 1],
+                        store_.layer(l - 1), store_.layer(l), scratch_[p],
+                        is_last ? nullptr : &sink);
+      }
+    });
+
+    if (!is_last) {
+      // Exchange: one Δh row per (changed vertex, remote partition with at
+      // least one of its out-neighbors). Serial. Only the destination scan
+      // is billed as compute; the inbox copies and the bytes themselves are
+      // the transport's job (the cost model already charges the transfer —
+      // timing the send too would double-count it).
+      transport_.begin_superstep();
+      std::vector<double> scan_sec(num_parts, 0.0);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> sends;
+      for (std::size_t p = 0; p < num_parts; ++p) {
+        StopWatch watch;
+        sends.clear();
+        for (std::size_t r = 0; r < senders_[p].size(); ++r) {
+          for_each_remote_owner(
+              senders_[p][r], static_cast<std::uint32_t>(p),
+              [&](std::size_t q) {
+                sends.push_back({static_cast<std::uint32_t>(r),
+                                 static_cast<std::uint32_t>(q)});
+              });
+        }
+        scan_sec[p] = watch.elapsed_sec();
+        for (const auto& [r, q] : sends) {
+          transport_.send(p, q, senders_[p][r], delta_[p].row(r));
+        }
+      }
+      result.compute_sec +=
+          *std::max_element(scan_sec.begin(), scan_sec.end());
+      result.comm_sec += transport_.end_superstep();
+
+      // Seed: each partition merges local deltas and inbox payloads in
+      // ascending global sender id order, then re-expands them over its
+      // locally-owned out-edges — reproducing the exact single-machine
+      // accumulation order per cell.
+      const bool uses_self = model_.layer(l).uses_self();
+      result.compute_sec += timed_over_parts(pool_, num_parts, [&](std::size_t q) {
+        std::vector<MergeEntry>& merged = merge_[q];
+        merged.clear();
+        for (std::size_t r = 0; r < senders_[q].size(); ++r) {
+          merged.push_back({senders_[q][r], delta_[q].row(r).data()});
+        }
+        const SimTransport::Inbox& inbox = transport_.inbox(q);
+        for (const SimTransport::Message& m : inbox.messages) {
+          merged.push_back({m.sender, inbox.payload_of(m).data()});
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const MergeEntry& a, const MergeEntry& b) {
+                    return a.sender < b.sender;
+                  });
+        Mailbox& next = mailbox(q, l + 1);
+        for (const MergeEntry& entry : merged) {
+          const std::span<const float> delta(entry.delta, delta_dim);
+          for (const Neighbor& nb : graph_.out_neighbors(entry.sender)) {
+            if (owner(nb.vertex) != q) continue;
+            next.accumulate(nb.vertex, edge_alpha(nb.weight), delta, {});
+          }
+          if (uses_self && owner(entry.sender) == q) {
+            next.mark_self_changed(entry.sender);
+          }
+        }
+      });
+    }
+    for (std::size_t p = 0; p < num_parts; ++p) mailbox(p, l).clear();
+  }
+
+  result.wire_bytes = transport_.wire_bytes() - wire_bytes_before;
+  result.wire_messages = transport_.wire_messages() - wire_messages_before;
+  return result;
+}
+
+std::size_t DistRippleEngine::memory_bytes() const {
+  std::size_t total = store_.bytes() + graph_.bytes();
+  for (const auto& cache : agg_cache_) total += cache.bytes();
+  for (const auto& box : mailboxes_) total += box.bytes();
+  return total;
+}
+
+}  // namespace ripple

@@ -1,0 +1,109 @@
+// Distributed incremental engine (§5): the paper's Ripple runtime promoted
+// to partition-owned execution.
+//
+// Each partition owns its vertices' embedding rows, aggregate-cache rows,
+// and one sharded Mailbox per hop (the same Mailbox the single-machine core
+// uses — sharding now nests inside a partition). A batch runs as a sequence
+// of BSP supersteps:
+//
+//   routing    — the ingress leader (partition 0) ships the batch to every
+//                replica; cross-partition edge updates additionally pull the
+//                source's H^0..H^{L-1} rows to the sink's owner (halo fetch)
+//                so the nullify/insert messages can be seeded locally.
+//   hop l      — apply: every partition drains its own hop-l mailbox with
+//                the shared hop kernel (core/hop_kernel.h), producing Δh per
+//                owned affected vertex;
+//                exchange: each changed vertex's Δh is sent ONCE to every
+//                remote partition owning at least one of its out-neighbors
+//                (the §5.1 stub-combining rule — the receiver re-expands the
+//                delta over its locally-known cut edges, so the wire carries
+//                one row per (sender, destination partition), not per edge);
+//                seed: each partition merges local and received deltas in
+//                ascending global sender id order and accumulates them into
+//                its hop-(l+1) mailbox cells.
+//
+// Because every mailbox cell receives its contributions in the same global
+// ascending-sender order as the single-machine engine, and the hop kernel's
+// blocked Update is row-independent, embeddings are bit-identical to
+// RippleEngine for ANY partition count and ANY thread count.
+#pragma once
+
+#include <vector>
+
+#include "core/hop_kernel.h"
+#include "core/mailbox.h"
+#include "dist/dist_engine.h"
+
+namespace ripple {
+
+class DistRippleEngine : public DistEngineBase {
+ public:
+  DistRippleEngine(const GnnModel& model, DynamicGraph snapshot,
+                   const Matrix& features, Partition partition,
+                   ThreadPool* pool, const TransportOptions& options);
+
+  const char* name() const override { return "dist-Ripple"; }
+  DistBatchResult apply_batch(UpdateBatch batch) override;
+  EmbeddingStore gather_embeddings() const override { return store_; }
+  const Partition& partition() const override { return partition_; }
+  const DynamicGraph& graph() const override { return graph_; }
+  const GnnModel& model() const override { return model_; }
+  std::size_t memory_bytes() const override;
+
+  // Boundary/halo structure over the CURRENT topology (diagnostics; the
+  // live protocol recomputes destinations from the evolving edges, so this
+  // is derived on demand rather than stored).
+  HaloIndex halo() const { return build_halo_index(graph_, partition_); }
+
+ private:
+  Mailbox& mailbox(std::size_t part, std::size_t l) {
+    return mailboxes_[part * model_.num_layers() + (l - 1)];
+  }
+  std::uint32_t owner(VertexId v) const { return partition_.part_of(v); }
+  float edge_alpha(EdgeWeight weight) const;
+
+  // Invokes fn(q) once per remote partition q that owns at least one
+  // out-neighbor of u, in ascending partition order. Routing decisions all
+  // flow through here so the destination rule cannot diverge between the
+  // feature path and the exchange phase. Serial phases only: reuses one
+  // shared mask buffer.
+  template <typename Fn>
+  void for_each_remote_owner(VertexId u, std::uint32_t pu, const Fn& fn) {
+    std::fill(remote_mask_.begin(), remote_mask_.end(), 0);
+    for (const Neighbor& nb : graph_.out_neighbors(u)) {
+      const std::uint32_t pv = owner(nb.vertex);
+      if (pv != pu) remote_mask_[pv] = 1;
+    }
+    for (std::size_t q = 0; q < remote_mask_.size(); ++q) {
+      if (remote_mask_[q]) fn(q);
+    }
+  }
+
+  void seed_edge_messages(VertexId u, VertexId v, EdgeWeight weight,
+                          bool is_add);
+  void apply_feature_update(const GraphUpdate& update);
+  double update_phase(UpdateBatch batch);  // returns compute seconds
+
+  GnnModel model_;
+  DynamicGraph graph_;  // replicated topology (one shared copy in-process)
+  Partition partition_;
+  EmbeddingStore store_;  // union of owned rows; single writer = owner
+  std::vector<Matrix> agg_cache_;
+  std::vector<Mailbox> mailboxes_;  // [part * L + (l-1)]
+  SimTransport transport_;
+  ThreadPool* pool_;
+
+  // Per-partition hop state, reused across batches.
+  std::vector<HopShardScratch> scratch_;        // one per partition
+  std::vector<std::vector<VertexId>> senders_;  // owned affected, ascending
+  std::vector<Matrix> delta_;                   // local-rank-major Δh rows
+  // Expansion merge list: (sender id, Δh row) from local + inbox sources.
+  struct MergeEntry {
+    VertexId sender;
+    const float* delta;
+  };
+  std::vector<std::vector<MergeEntry>> merge_;  // one per partition
+  std::vector<std::uint8_t> remote_mask_;       // for_each_remote_owner
+};
+
+}  // namespace ripple

@@ -1,0 +1,87 @@
+#include "dist/transport.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace ripple {
+
+namespace {
+TransportOptions g_default_options;
+}  // namespace
+
+TransportOptions TransportOptions::from_flags(const Flags& flags) {
+  TransportOptions options;
+  options.per_message_sec = flags.get_double("wire-latency-us", 5.0) * 1e-6;
+  options.bytes_per_sec = flags.get_double("wire-gbps", 10.0) * 1e9 / 8.0;
+  return options;
+}
+
+void set_transport_options(const TransportOptions& options) {
+  g_default_options = options;
+}
+
+const TransportOptions& default_transport_options() {
+  return g_default_options;
+}
+
+SimTransport::SimTransport(std::size_t num_parts,
+                           const TransportOptions& options)
+    : options_(options) {
+  RIPPLE_CHECK(num_parts >= 1);
+  RIPPLE_CHECK(options_.bytes_per_sec > 0);
+  inboxes_.resize(num_parts);
+  egress_sec_.assign(num_parts, 0.0);
+  ingress_sec_.assign(num_parts, 0.0);
+}
+
+void SimTransport::begin_superstep() {
+  for (Inbox& inbox : inboxes_) {
+    inbox.messages.clear();
+    inbox.payload.clear();
+  }
+  std::fill(egress_sec_.begin(), egress_sec_.end(), 0.0);
+  std::fill(ingress_sec_.begin(), ingress_sec_.end(), 0.0);
+}
+
+void SimTransport::account(std::size_t src, std::size_t dst,
+                           std::size_t payload_bytes,
+                           std::size_t num_messages) {
+  const std::size_t total_bytes =
+      payload_bytes + num_messages * options_.header_bytes;
+  const double sec =
+      static_cast<double>(num_messages) * options_.per_message_sec +
+      static_cast<double>(total_bytes) / options_.bytes_per_sec;
+  egress_sec_[src] += sec;
+  ingress_sec_[dst] += sec;
+  wire_bytes_ += total_bytes;
+  wire_messages_ += num_messages;
+}
+
+void SimTransport::send(std::size_t src, std::size_t dst, VertexId sender,
+                        std::span<const float> payload) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  Inbox& inbox = inboxes_[dst];
+  inbox.messages.push_back({sender, static_cast<std::uint32_t>(src),
+                            inbox.payload.size(), payload.size()});
+  inbox.payload.insert(inbox.payload.end(), payload.begin(), payload.end());
+  account(src, dst, payload.size() * sizeof(float), 1);
+}
+
+void SimTransport::send_opaque(std::size_t src, std::size_t dst,
+                               std::size_t payload_bytes,
+                               std::size_t num_messages) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  account(src, dst, payload_bytes, num_messages);
+}
+
+double SimTransport::end_superstep() const {
+  double worst = 0.0;
+  for (std::size_t p = 0; p < inboxes_.size(); ++p) {
+    worst = std::max(worst, egress_sec_[p] + ingress_sec_[p]);
+  }
+  return worst;
+}
+
+}  // namespace ripple

@@ -1,0 +1,102 @@
+// Simulated message-passing transport for the distributed runtime (§5).
+//
+// The whole cluster runs inside one process, so "sending" is an append into
+// the destination partition's inbox plus cost-model accounting. Two kinds of
+// traffic exist:
+//   * payload messages — a sender vertex's embedding-delta row shipped to
+//     the partition owning its remote out-neighbors; the floats genuinely
+//     travel through the inbox and the receiver reads them back out, so the
+//     exactness tests exercise the real wire path;
+//   * opaque transfers — update routing and halo row fetches, where only the
+//     byte/message counts matter (the receiver reads the shared replica).
+//
+// Cost model (flag-configurable, see TransportOptions::from_flags): each
+// message costs per_message_sec + (header_bytes + payload)/bytes_per_sec.
+// A superstep is charged max over partitions of (egress + ingress) — the
+// partitions are modeled as machines sending and receiving in parallel, so
+// the slowest endpoint gates the barrier, BSP style.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ripple {
+
+class Flags;
+
+struct TransportOptions {
+  double per_message_sec = 5e-6;   // fixed per-message envelope latency
+  double bytes_per_sec = 1.25e9;   // link bandwidth (10 GbE)
+  std::size_t header_bytes = 16;   // per-message envelope size
+
+  // Reads --wire-latency-us (default 5.0) and --wire-gbps (default 10.0).
+  static TransportOptions from_flags(const Flags& flags);
+};
+
+// Process-wide defaults used when make_dist_engine is called without an
+// explicit TransportOptions (benches set these once from their CLI flags).
+void set_transport_options(const TransportOptions& options);
+const TransportOptions& default_transport_options();
+
+class SimTransport {
+ public:
+  struct Message {
+    VertexId sender = kInvalidVertex;
+    std::uint32_t src_part = 0;
+    std::size_t offset = 0;  // into the inbox's flat payload buffer
+    std::size_t len = 0;     // payload floats
+  };
+  struct Inbox {
+    std::vector<Message> messages;
+    std::vector<float> payload;
+
+    std::span<const float> payload_of(const Message& m) const {
+      return std::span<const float>(payload.data() + m.offset, m.len);
+    }
+  };
+
+  SimTransport(std::size_t num_parts, const TransportOptions& options);
+
+  std::size_t num_parts() const { return inboxes_.size(); }
+  const TransportOptions& options() const { return options_; }
+
+  // Clears every inbox and the per-partition cost accumulators.
+  void begin_superstep();
+
+  // Payload send: delivered into dst's inbox. Not thread-safe — the engines
+  // run their exchange phases serially (the copies are simulation overhead,
+  // not modeled machine work). src == dst is a protocol error: local
+  // traffic never touches the wire.
+  void send(std::size_t src, std::size_t dst, VertexId sender,
+            std::span<const float> payload);
+
+  // Accounting-only transfer (update routing, halo row fetches).
+  void send_opaque(std::size_t src, std::size_t dst,
+                   std::size_t payload_bytes, std::size_t num_messages = 1);
+
+  // Modeled seconds for the superstep: max over partitions of
+  // (egress + ingress) cost.
+  double end_superstep() const;
+
+  const Inbox& inbox(std::size_t part) const { return inboxes_[part]; }
+
+  // Cumulative totals across all supersteps.
+  std::size_t wire_bytes() const { return wire_bytes_; }
+  std::size_t wire_messages() const { return wire_messages_; }
+
+ private:
+  void account(std::size_t src, std::size_t dst, std::size_t payload_bytes,
+               std::size_t num_messages);
+
+  TransportOptions options_;
+  std::vector<Inbox> inboxes_;
+  std::vector<double> egress_sec_;   // per-partition, this superstep
+  std::vector<double> ingress_sec_;  // per-partition, this superstep
+  std::size_t wire_bytes_ = 0;
+  std::size_t wire_messages_ = 0;
+};
+
+}  // namespace ripple

@@ -171,4 +171,45 @@ std::size_t refine_partition(const DynamicGraph& graph, Partition& partition,
   return total_moves;
 }
 
+std::size_t HaloIndex::total_boundary() const {
+  std::size_t total = 0;
+  for (const auto& part : boundary) total += part.size();
+  return total;
+}
+
+std::size_t HaloIndex::total_halo() const {
+  std::size_t total = 0;
+  for (const auto& part : halo_in) total += part.size();
+  return total;
+}
+
+HaloIndex build_halo_index(const DynamicGraph& graph,
+                           const Partition& partition) {
+  const std::size_t k = partition.num_parts();
+  HaloIndex halo;
+  halo.boundary.resize(k);
+  halo.halo_in.resize(k);
+  std::vector<std::uint8_t> is_boundary(graph.num_vertices(), 0);
+  // One pass over out-edges classifies both endpoints of every cut edge;
+  // ascending-u iteration plus a final sort/unique keeps lists canonical.
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const std::uint32_t pu = partition.part_of(u);
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      const std::uint32_t pv = partition.part_of(nb.vertex);
+      if (pu == pv) continue;
+      is_boundary[u] = 1;
+      is_boundary[nb.vertex] = 1;
+      halo.halo_in[pv].push_back(u);
+    }
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (is_boundary[v]) halo.boundary[partition.part_of(v)].push_back(v);
+  }
+  for (auto& part : halo.halo_in) {
+    std::sort(part.begin(), part.end());
+    part.erase(std::unique(part.begin(), part.end()), part.end());
+  }
+  return halo;
+}
+
 }  // namespace ripple

@@ -23,7 +23,16 @@ class Partition {
 
   std::size_t num_parts() const { return num_parts_; }
   std::size_t num_vertices() const { return part_of_.size(); }
-  std::uint32_t part_of(VertexId v) const { return part_of_[v]; }
+
+  // Owning part of v. Vertices that join the stream after partitioning
+  // (v >= num_vertices()) fall back to a deterministic hash assignment —
+  // the same Fibonacci spreading rule the sharded mailbox uses — so every
+  // replica of the partition routes them identically without a repartition.
+  std::uint32_t part_of(VertexId v) const {
+    if (v < part_of_.size()) return part_of_[v];
+    if (num_parts_ <= 1) return 0;
+    return static_cast<std::uint32_t>(fib_spread(v, num_parts_));
+  }
 
   const std::vector<VertexId>& vertices_of(std::size_t part) const {
     return vertices_of_[part];
@@ -60,5 +69,23 @@ Partition ldg_partition(const DynamicGraph& graph, std::size_t num_parts,
 std::size_t refine_partition(const DynamicGraph& graph, Partition& partition,
                              std::size_t max_passes = 2,
                              double capacity_slack = 1.05);
+
+// Boundary/halo structure of a partition over a concrete topology (§5.1):
+// the vertex sets an owner-computes runtime replicates across machines.
+// All lists are in ascending vertex id order and duplicate-free.
+struct HaloIndex {
+  // boundary[p]: vertices owned by p with at least one cut edge (either
+  // direction) — the vertices whose Δh may have to leave the machine.
+  std::vector<std::vector<VertexId>> boundary;
+  // halo_in[p]: remote vertices with an edge INTO p's owned set — the stub
+  // cells p materializes so remote deltas land in a local mailbox.
+  std::vector<std::vector<VertexId>> halo_in;
+
+  std::size_t total_boundary() const;
+  std::size_t total_halo() const;
+};
+
+HaloIndex build_halo_index(const DynamicGraph& graph,
+                           const Partition& partition);
 
 }  // namespace ripple

@@ -1,0 +1,267 @@
+// Distributed runtime tests (src/dist):
+//  1. Exactness property: dist engines are BIT-IDENTICAL to their
+//     single-machine counterparts across num_parts ∈ {1, 2, 4} × thread
+//     pool on/off, on an R-MAT stream with mixed add/delete/feature
+//     batches — and the two dist engines agree with each other within FP
+//     tolerance (incremental vs recompute rounding).
+//  2. Transport accounting: wire counters match a hand-computed count on a
+//     tiny 2-partition graph, for both the edge and the feature paths.
+//  3. A single partition produces zero wire traffic.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/thread_pool.h"
+#include "core/ripple_engine.h"
+#include "dist/dist_engine.h"
+#include "infer/recompute.h"
+#include "stream/generator.h"
+
+namespace ripple {
+namespace {
+
+struct RmatCase {
+  DynamicGraph snapshot;
+  Matrix features;
+  std::vector<GraphUpdate> stream;
+};
+
+RmatCase make_rmat_case(std::uint64_t seed) {
+  Rng rng(seed);
+  RmatCase c;
+  c.snapshot = rmat(96, 640, 0.55, 0.2, 0.2, 0.05, rng);
+  c.features = testing::random_features(c.snapshot.num_vertices(), 8, seed + 1);
+  StreamConfig stream_config;
+  stream_config.num_updates = 110;
+  stream_config.feat_dim = 8;
+  stream_config.seed = seed + 2;
+  c.stream = generate_stream(c.snapshot, stream_config);
+  return c;
+}
+
+TEST(DistExactness, BitIdenticalToSingleMachineForAnyPartsAndThreads) {
+  for (const Workload workload :
+       {Workload::gc_s, Workload::gs_s, Workload::gc_m}) {
+    SCOPED_TRACE(workload_name(workload));
+    auto c = make_rmat_case(77);
+    const auto config = workload_config(workload, 8, 4, 2, 12);
+    const auto model = GnnModel::random(config, 79);
+    const auto batches = make_batches(c.stream, 9);
+
+    RippleEngine ripple_ref(model, c.snapshot, c.features);
+    RecomputeEngine rc_ref(model, c.snapshot, c.features);
+    for (const auto& batch : batches) {
+      ripple_ref.apply_batch(batch);
+      rc_ref.apply_batch(batch);
+    }
+
+    for (const std::size_t num_parts : {1, 2, 4}) {
+      auto partition = ldg_partition(c.snapshot, num_parts);
+      refine_partition(c.snapshot, partition, 1);
+      for (const bool use_pool : {false, true}) {
+        SCOPED_TRACE(std::to_string(num_parts) + " parts, pool " +
+                     (use_pool ? "on" : "off"));
+        ThreadPool pool(3);
+        ThreadPool* p = use_pool ? &pool : nullptr;
+        auto dist_ripple = make_dist_engine("ripple", model, c.snapshot,
+                                            c.features, partition, p);
+        auto dist_rc = make_dist_engine("rc", model, c.snapshot, c.features,
+                                        partition, p);
+        for (const auto& batch : batches) {
+          dist_ripple->apply_batch(batch);
+          dist_rc->apply_batch(batch);
+        }
+        // Bit-identical to the single-machine counterparts...
+        EXPECT_EQ(testing::max_store_diff(ripple_ref.embeddings(),
+                                          dist_ripple->gather_embeddings()),
+                  0.0f);
+        EXPECT_EQ(testing::max_store_diff(rc_ref.embeddings(),
+                                          dist_rc->gather_embeddings()),
+                  0.0f);
+        // ...and cross-engine agreement within FP tolerance.
+        EXPECT_LT(testing::max_store_diff(dist_ripple->gather_embeddings(),
+                                          dist_rc->gather_embeddings()),
+                  1e-3f);
+      }
+    }
+  }
+}
+
+TEST(DistExactness, CountersMatchSingleMachine) {
+  auto c = make_rmat_case(31);
+  const auto config = workload_config(Workload::gs_s, 8, 4, 3, 10);
+  const auto model = GnnModel::random(config, 33);
+  RippleEngine ref(model, c.snapshot, c.features);
+  const auto partition = ldg_partition(c.snapshot, 3);
+  auto dist = make_dist_engine("ripple", model, c.snapshot, c.features,
+                               partition);
+  for (const auto& batch : make_batches(c.stream, 8)) {
+    const BatchResult expected = ref.apply_batch(batch);
+    const DistBatchResult got = dist->apply_batch(batch);
+    EXPECT_EQ(got.propagation_tree_size, expected.propagation_tree_size);
+    EXPECT_EQ(got.affected_final, expected.affected_final);
+    EXPECT_EQ(got.num_parts, 3u);
+    EXPECT_EQ(got.batch_size, batch.size());
+  }
+}
+
+// ---- transport accounting: hand-computed on a 4-vertex 2-part graph ----
+//
+// Vertices 0,1 live on partition 0; 2,3 on partition 1.
+// Snapshot edges: 0->1, 1->2 (cut), 2->3, 2->0 (cut).
+// Model: GraphConv/sum (no self term), 2 layers, feat=hidden=classes=2.
+
+struct TinyDist {
+  DynamicGraph graph{4};
+  Matrix features;
+  GnnModel model;
+  Partition partition;
+
+  TinyDist(std::size_t num_parts, std::vector<std::uint32_t> part_of)
+      : features(testing::random_features(4, 2, 5)),
+        model(GnnModel::random(workload_config(Workload::gc_s, 2, 2, 2, 2), 6)),
+        partition(num_parts, std::move(part_of)) {
+    graph.add_edge(0, 1);
+    graph.add_edge(1, 2);
+    graph.add_edge(2, 3);
+    graph.add_edge(2, 0);
+  }
+};
+
+constexpr std::size_t kHeader = 16;  // TransportOptions{}.header_bytes
+
+TEST(DistTransportAccounting, EdgeAddWireCountsRipple) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_dist_engine("ripple", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(0, 2)};
+  const auto result = engine->apply_batch(batch);
+
+  // 1. Routing: leader -> partition 1, one combined message.
+  const std::size_t routing = kHeader + batch[0].wire_bytes();
+  // 2. Halo fetch: owner(0)=0 ships h^0,h^1 of vertex 0 to owner(2)=1
+  //    (widths feat=2 and hidden=2 floats).
+  const std::size_t fetch = kHeader + (2 + 2) * sizeof(float);
+  // 3. Hop-1 exchange: sender 2 (part 1) has out-neighbors {3 local,
+  //    0 remote} -> ONE combined Δh row (hidden=2) to partition 0.
+  const std::size_t delta = kHeader + 2 * sizeof(float);
+  EXPECT_EQ(result.wire_messages, 3u);
+  EXPECT_EQ(result.wire_bytes, routing + fetch + delta);
+  EXPECT_GT(result.comm_sec, 0.0);
+  // Propagation tree: hop 1 = {2}; hop 2 = {2 (edge sink), 3, 0}.
+  EXPECT_EQ(result.propagation_tree_size, 4u);
+  EXPECT_EQ(result.affected_final, 3u);
+}
+
+TEST(DistTransportAccounting, HaloFetchOnlyOnFirstCutEdgeFromSource) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_dist_engine("ripple", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  // Two adds from the same source into partition 1: only the first one
+  // fetches vertex 0's halo rows; the second rides on the fresh copy.
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(0, 2),
+                                          GraphUpdate::edge_add(0, 3)};
+  const auto result = engine->apply_batch(batch);
+  const std::size_t routing =
+      kHeader + batch[0].wire_bytes() + batch[1].wire_bytes();
+  const std::size_t fetch = kHeader + (2 + 2) * sizeof(float);
+  // Hop-1 senders {2, 3} (part 1): 2 ships Δh to part 0 (neighbor 0);
+  // 3 has no out-edges.
+  const std::size_t delta = kHeader + 2 * sizeof(float);
+  EXPECT_EQ(result.wire_messages, 3u);
+  EXPECT_EQ(result.wire_bytes, routing + fetch + delta);
+}
+
+TEST(DistTransportAccounting, CutEdgeDeletionDoesNotFetch) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_dist_engine("ripple", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  // Deleting cut edge 1->2: owner(2) already holds vertex 1's halo rows,
+  // so the nullification seeds locally — routing plus the hop-1 delta
+  // (sender 2 -> partition 0 for neighbor 0) are the only wire traffic.
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_del(1, 2)};
+  const auto result = engine->apply_batch(batch);
+  const std::size_t routing = kHeader + batch[0].wire_bytes();
+  const std::size_t delta = kHeader + 2 * sizeof(float);
+  EXPECT_EQ(result.wire_messages, 2u);
+  EXPECT_EQ(result.wire_bytes, routing + delta);
+}
+
+TEST(DistTransportAccounting, FeatureUpdateWireCountsRipple) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_dist_engine("ripple", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::vertex_feature(1, {0.25f, -0.5f})};
+  const auto result = engine->apply_batch(batch);
+
+  const std::size_t routing = kHeader + batch[0].wire_bytes();
+  // Feature path: owner(1)=0 sends one combined (x_new, x_old) message to
+  // partition 1, which owns out-neighbor 2.
+  const std::size_t feature = kHeader + 2 * 2 * sizeof(float);
+  // Hop-1 exchange: sender 2 (part 1) -> Δh to partition 0 (neighbor 0).
+  const std::size_t delta = kHeader + 2 * sizeof(float);
+  EXPECT_EQ(result.wire_messages, 3u);
+  EXPECT_EQ(result.wire_bytes, routing + feature + delta);
+}
+
+TEST(DistTransportAccounting, EdgeAddWireCountsRecompute) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_dist_engine("rc", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  const std::vector<GraphUpdate> batch = {GraphUpdate::edge_add(0, 2)};
+  const auto result = engine->apply_batch(batch);
+
+  const std::size_t routing = kHeader + batch[0].wire_bytes();
+  const std::size_t row = kHeader + 2 * sizeof(float);  // all widths are 2
+  // Layer 0: affected {2} (part 1) pulls remote in-neighbors {1, 0}.
+  // Layer 1: affected {3, 0, 2}: part 0 recomputes 0 (pulls remote 2);
+  // part 1 recomputes 3 (in-neighbor 2 local) and 2 (pulls remote 1, 0).
+  EXPECT_EQ(result.wire_messages, 1u + 2u + 3u);
+  EXPECT_EQ(result.wire_bytes, routing + 5 * row);
+  // RC ships strictly more than Ripple on the same batch (the paper's
+  // communication gap, Fig. 12c).
+  auto ripple = make_dist_engine("ripple", t.model, t.graph, t.features,
+                                 t.partition, nullptr, TransportOptions{});
+  EXPECT_GT(result.wire_bytes, ripple->apply_batch(batch).wire_bytes);
+}
+
+TEST(DistTransportAccounting, SinglePartitionProducesZeroWireTraffic) {
+  for (const char* key : {"ripple", "rc"}) {
+    TinyDist t(1, {0, 0, 0, 0});
+    auto engine = make_dist_engine(key, t.model, t.graph, t.features,
+                                   t.partition, nullptr, TransportOptions{});
+    const std::vector<GraphUpdate> batch = {
+        GraphUpdate::edge_add(0, 2), GraphUpdate::edge_del(2, 3),
+        GraphUpdate::vertex_feature(1, {0.1f, 0.2f})};
+    const auto result = engine->apply_batch(batch);
+    EXPECT_EQ(result.wire_bytes, 0u) << key;
+    EXPECT_EQ(result.wire_messages, 0u) << key;
+    EXPECT_EQ(result.comm_sec, 0.0) << key;
+  }
+}
+
+TEST(DistTransport, CostModelFollowsOptions) {
+  TransportOptions options;
+  options.per_message_sec = 1e-3;
+  options.bytes_per_sec = 1e6;
+  options.header_bytes = 0;
+  SimTransport transport(3, options);
+  transport.begin_superstep();
+  const std::vector<float> payload(250, 1.0f);  // 1000 bytes = 1ms on wire
+  transport.send(0, 1, 7, payload);
+  transport.send(2, 1, 9, payload);
+  // Partition 1 ingests both messages: 2·(1ms latency + 1ms transfer).
+  EXPECT_NEAR(transport.end_superstep(), 4e-3, 1e-9);
+  EXPECT_EQ(transport.wire_messages(), 2u);
+  EXPECT_EQ(transport.wire_bytes(), 2000u);
+  EXPECT_EQ(transport.inbox(1).messages.size(), 2u);
+  EXPECT_EQ(transport.inbox(1).messages[0].sender, 7u);
+  // A fresh superstep clears inboxes and per-part costs but keeps totals.
+  transport.begin_superstep();
+  EXPECT_EQ(transport.inbox(1).messages.size(), 0u);
+  EXPECT_EQ(transport.end_superstep(), 0.0);
+  EXPECT_EQ(transport.wire_messages(), 2u);
+}
+
+}  // namespace
+}  // namespace ripple

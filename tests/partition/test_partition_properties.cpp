@@ -1,0 +1,137 @@
+// Property tests for the partitioners (§5.1) and the Partition type:
+//  * ldg_partition respects the capacity_slack balance envelope,
+//  * refine_partition never increases the edge cut,
+//  * every vertex is assigned to exactly one part,
+//  * hash_partition meets the round-robin balance bound,
+//  * part_of(v) for post-partitioning vertices falls back to a
+//    deterministic hash (regression: used to read out of bounds),
+//  * build_halo_index classifies boundary/halo vertices correctly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "partition/partition.h"
+
+namespace ripple {
+namespace {
+
+DynamicGraph property_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  // R-MAT's skewed degrees stress the capacity envelope harder than G(n,m).
+  return rmat(200, 1400, 0.5, 0.2, 0.2, 0.1, rng);
+}
+
+TEST(PartitionProperties, LdgRespectsCapacitySlack) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto graph = property_graph(seed);
+    for (const std::size_t k : {2, 4, 7}) {
+      for (const double slack : {1.02, 1.05, 1.3}) {
+        const auto partition = ldg_partition(graph, k, slack);
+        const double capacity =
+            slack * static_cast<double>(graph.num_vertices()) /
+            static_cast<double>(k);
+        for (std::size_t p = 0; p < k; ++p) {
+          // A part may exceed capacity by at most the final placement (the
+          // all-parts-full fallback picks the smallest part).
+          EXPECT_LE(static_cast<double>(partition.part_size(p)),
+                    capacity + 1.0)
+              << "seed " << seed << " k " << k << " slack " << slack;
+        }
+      }
+    }
+  }
+}
+
+TEST(PartitionProperties, RefineNeverIncreasesEdgeCut) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto graph = property_graph(seed);
+    for (const std::size_t k : {2, 4, 8}) {
+      // Both a cut-oblivious start (hash) and a good start (LDG).
+      for (const bool use_ldg : {false, true}) {
+        auto partition = use_ldg
+                             ? ldg_partition(graph, k)
+                             : hash_partition(graph.num_vertices(), k);
+        const std::size_t cut_before = partition.edge_cut(graph);
+        refine_partition(graph, partition, 3);
+        EXPECT_LE(partition.edge_cut(graph), cut_before)
+            << "seed " << seed << " k " << k << " ldg " << use_ldg;
+      }
+    }
+  }
+}
+
+TEST(PartitionProperties, EveryVertexAssignedExactlyOnce) {
+  const auto graph = property_graph(31);
+  for (const std::size_t k : {1, 3, 6}) {
+    auto partition = ldg_partition(graph, k);
+    refine_partition(graph, partition, 2);
+    std::vector<VertexId> seen;
+    for (std::size_t p = 0; p < k; ++p) {
+      for (const VertexId v : partition.vertices_of(p)) {
+        EXPECT_EQ(partition.part_of(v), p);
+        seen.push_back(v);
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    std::vector<VertexId> expected(graph.num_vertices());
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(seen, expected) << "k " << k;
+  }
+}
+
+TEST(PartitionProperties, HashBalanceBound) {
+  for (const std::size_t n : {100, 1000, 1001}) {
+    for (const std::size_t k : {2, 7, 8}) {
+      const auto partition = hash_partition(n, k);
+      const std::size_t ceil_ideal = (n + k - 1) / k;
+      for (std::size_t p = 0; p < k; ++p) {
+        EXPECT_LE(partition.part_size(p), ceil_ideal) << n << "/" << k;
+      }
+    }
+  }
+}
+
+// Regression: part_of(v) for a vertex that joined the stream after
+// partitioning used to index out of bounds; it now falls back to a
+// deterministic hash shared by every replica.
+TEST(PartitionProperties, PartOfFallbackForStreamedVertices) {
+  const auto partition = hash_partition(50, 4);
+  for (VertexId v = 50; v < 90; ++v) {
+    const std::uint32_t part = partition.part_of(v);
+    EXPECT_LT(part, 4u);
+    EXPECT_EQ(part, partition.part_of(v));  // deterministic
+    // The documented Fibonacci spreading rule.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+    EXPECT_EQ(part, static_cast<std::uint32_t>((h >> 32) % 4));
+  }
+  // Hash fallback spreads across parts rather than piling on one.
+  std::vector<std::size_t> hits(4, 0);
+  for (VertexId v = 50; v < 250; ++v) ++hits[partition.part_of(v)];
+  for (const std::size_t count : hits) EXPECT_GT(count, 0u);
+  // Single part: everything (in range or not) maps to part 0.
+  const auto single = hash_partition(10, 1);
+  EXPECT_EQ(single.part_of(999), 0u);
+}
+
+TEST(PartitionProperties, HaloIndexClassifiesCutEndpoints) {
+  DynamicGraph g(4);
+  g.add_edge(0, 1);  // internal to part 0
+  g.add_edge(1, 2);  // cut: 0 -> 1
+  g.add_edge(2, 3);  // internal to part 1
+  g.add_edge(2, 0);  // cut: 1 -> 0
+  const Partition partition(2, {0, 0, 1, 1});
+  const auto halo = build_halo_index(g, partition);
+  EXPECT_EQ(halo.boundary[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(halo.boundary[1], (std::vector<VertexId>{2}));
+  EXPECT_EQ(halo.halo_in[0], (std::vector<VertexId>{2}));
+  EXPECT_EQ(halo.halo_in[1], (std::vector<VertexId>{1}));
+  EXPECT_EQ(halo.total_boundary(), 3u);
+  EXPECT_EQ(halo.total_halo(), 2u);
+}
+
+}  // namespace
+}  // namespace ripple
