@@ -40,6 +40,9 @@ struct RunMetrics {
   std::size_t num_threads = 0;
   double mean_apply_phase_sec = 0;    // mailbox drain + blocked GEMMs
   double mean_compute_phase_sec = 0;  // Δh scatter into next-hop mailboxes
+  // Work-stealing scheduler stats summed over the run (all-zero on the
+  // static scheduler); see common/scheduler.h.
+  SchedulerStats sched;
   std::vector<double> batch_latencies;
   std::vector<std::size_t> tree_sizes;
 };
@@ -69,6 +72,7 @@ inline RunMetrics run_stream(InferenceEngine& engine,
     total_compute_phase += result.compute_phase_sec;
     metrics.num_shards = result.num_shards;
     metrics.num_threads = result.num_threads;
+    metrics.sched.accumulate(result.sched);
     ++metrics.num_batches;
     if (max_batches != 0 && metrics.num_batches >= max_batches) break;
   }

@@ -9,3 +9,13 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build -L unit --output-on-failure -j "$(nproc)"
 # Remaining tiers (integration + dist) — each test runs exactly once.
 ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
+
+# ThreadSanitizer pass over the unit tier: the work-stealing scheduler's
+# Chase-Lev deque (common/scheduler.h) is lock-free, so races there would be
+# silent corruption in a normal build — TSan turns them into CI failures.
+# Benches/examples are skipped: TSan only needs the library + unit tests.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+  -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L unit --output-on-failure -j "$(nproc)"

@@ -74,4 +74,34 @@ std::vector<std::int64_t> Flags::get_int_list(
   return out;
 }
 
+std::vector<double> Flags::get_double_list(
+    const std::string& name, const std::vector<double>& default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  RIPPLE_CHECK_MSG(!out.empty(), "empty double list for --" << name);
+  return out;
+}
+
+std::string Flags::get_choice(const std::string& name,
+                              const std::vector<std::string>& allowed,
+                              const std::string& default_value) const {
+  const std::string value = get_string(name, default_value);
+  for (const std::string& option : allowed) {
+    if (value == option) return value;
+  }
+  std::ostringstream expected;
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    expected << (i ? "|" : "") << allowed[i];
+  }
+  RIPPLE_CHECK_MSG(false, "--" << name << '=' << value << " (expected "
+                               << expected.str() << ')');
+  return default_value;  // unreachable
+}
+
 }  // namespace ripple

@@ -29,6 +29,17 @@ class Flags {
       const std::string& name,
       const std::vector<std::int64_t>& default_value) const;
 
+  // Comma-separated list of doubles, e.g. --rmat-a=0.45,0.57,0.8.
+  std::vector<double> get_double_list(
+      const std::string& name, const std::vector<double>& default_value) const;
+
+  // Validated enumeration value: dies with a message listing the allowed
+  // values when the flag is set to anything else (e.g.
+  // --scheduler=static|steal).
+  std::string get_choice(const std::string& name,
+                         const std::vector<std::string>& allowed,
+                         const std::string& default_value) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

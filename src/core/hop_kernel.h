@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/scheduler.h"
 #include "core/mailbox.h"
 #include "gnn/model.h"
 #include "graph/dynamic_graph.h"
@@ -76,13 +77,20 @@ class RankDeltaSink {
 // are not needed (the last hop). Templated over the sink functor so the
 // per-vertex call inlines on the hot path. Returns the number of
 // cache-fold ops (the 2·k' incremental-op model of §4.3.3 counts them).
+//
+// `scheduler` (optional): when the caller runs as a work-stealing task, the
+// blocked Update GEMM of a hot shard is split into stealable row blocks so
+// idle participants help drain it (nested region, see common/scheduler.h).
+// Null keeps the GEMM serial — the right call for the static runtime, whose
+// nested parallel_for would inline anyway.
 template <typename Sink>
 std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
                               const DynamicGraph& graph,
                               const Mailbox::Shard& shard, std::size_t dim,
                               Matrix& agg_cache, const Matrix& h_prev,
                               Matrix& h_out, HopShardScratch& scratch,
-                              const Sink* sink) {
+                              const Sink* sink,
+                              WorkStealingScheduler* scheduler = nullptr) {
   if (shard.size() == 0) return 0;
   const GnnLayer& layer = model.layer(l - 1);
   const std::size_t in_dim = model.config().layer_in_dim(l - 1);
@@ -119,9 +127,9 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
     if (gather_self) vec_copy(h_prev.row(v), scratch.h_self.row(i));
   }
 
-  // One blocked GEMM for the whole shard (pool=nullptr: callers already run
-  // inside pool tasks; ThreadPool::parallel_for would inline anyway).
-  layer.update_matrix(scratch.h_self, scratch.x, scratch.out, nullptr);
+  // One blocked GEMM for the whole shard; on the stealing runtime its row
+  // blocks are themselves stealable (nested region).
+  layer.update_matrix(scratch.h_self, scratch.x, scratch.out, scheduler);
   model.apply_activation_matrix(l - 1, scratch.out);
 
   // Hand each vertex's (new, old) rows to the sink, then commit into H^l.

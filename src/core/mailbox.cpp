@@ -83,6 +83,14 @@ Mailbox::EntryView Mailbox::entry(VertexId v) {
   };
 }
 
+std::vector<std::size_t> Mailbox::shard_sizes() const {
+  std::vector<std::size_t> sizes(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    sizes[s] = shards_[s].size();
+  }
+  return sizes;
+}
+
 std::vector<VertexId> Mailbox::sorted_vertices() const {
   std::vector<VertexId> order;
   order.reserve(size());

@@ -92,6 +92,11 @@ class Mailbox {
 
   const Shard& shard(std::size_t s) const { return shards_[s]; }
 
+  // Per-shard pending-slot counts — the cost vector that guides the
+  // work-stealing scheduler's LPT seeding of apply tasks (a shard's drain
+  // cost is proportional to its affected-vertex count).
+  std::vector<std::size_t> shard_sizes() const;
+
   // All mailbox vertices in ascending id order — the canonical sender
   // enumeration the propagation core uses so that float accumulation order
   // is identical for every shard/thread count.

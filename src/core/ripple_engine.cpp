@@ -28,6 +28,9 @@ RippleEngine::RippleEngine(const GnnModel& model, DynamicGraph snapshot,
                     : (pool_ != nullptr
                            ? std::max<std::size_t>(8, pool_->size())
                            : 1);
+  if (pool_ != nullptr && options_.scheduler == SchedulerMode::kSteal) {
+    stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
+  }
   const std::size_t num_layers = model_.num_layers();
   agg_cache_.reserve(num_layers);
   mailboxes_.reserve(num_layers);
@@ -98,42 +101,36 @@ void RippleEngine::update(UpdateBatch batch) {
       [this](const GraphUpdate& update) { apply_feature_update(update); });
 }
 
-std::uint64_t RippleEngine::apply_shard_range(
-    std::size_t l, std::size_t shard_lo, std::size_t shard_hi,
-    const std::vector<VertexId>& order) {
+std::uint64_t RippleEngine::apply_one_shard(std::size_t l, std::size_t s,
+                                            const std::vector<VertexId>& order) {
   Mailbox& mailbox = mailboxes_[l - 1];
   const bool is_last = l == model_.num_layers();
 
-  std::uint64_t ops = 0;
-  for (std::size_t s = shard_lo; s < shard_hi; ++s) {
-    const Mailbox::Shard& shard = mailbox.shard(s);
-    if (shard.size() == 0) continue;
-    // Record Δh at each vertex's canonical rank for the compute phase; the
-    // pruning ablation layers its send-flag decision on top.
-    const RankDeltaSink delta_sink(order, delta_block_);
-    const auto sink = [&](VertexId v, std::span<const float> new_row,
-                          std::span<const float> old_row) {
-      delta_sink(v, new_row, old_row);
-      if (options_.prune_unchanged) {
-        const std::size_t rank = delta_sink.last_rank();
-        float linf = 0;
-        for (const float d : delta_block_.row(rank)) {
-          linf = std::max(linf, std::abs(d));
-        }
-        send_flags_[rank] = linf > options_.prune_tolerance ? 1 : 0;
+  const Mailbox::Shard& shard = mailbox.shard(s);
+  if (shard.size() == 0) return 0;
+  // Record Δh at each vertex's canonical rank for the compute phase; the
+  // pruning ablation layers its send-flag decision on top.
+  const RankDeltaSink delta_sink(order, delta_block_);
+  const auto sink = [&](VertexId v, std::span<const float> new_row,
+                        std::span<const float> old_row) {
+    delta_sink(v, new_row, old_row);
+    if (options_.prune_unchanged) {
+      const std::size_t rank = delta_sink.last_rank();
+      float linf = 0;
+      for (const float d : delta_block_.row(rank)) {
+        linf = std::max(linf, std::abs(d));
       }
-    };
-    ops += apply_hop_shard(model_, l, graph_, shard, mailbox.dim(),
-                           agg_cache_[l - 1], store_.layer(l - 1),
-                           store_.layer(l), scratch_[s],
-                           is_last ? nullptr : &sink);
-  }
-  return ops;
+      send_flags_[rank] = linf > options_.prune_tolerance ? 1 : 0;
+    }
+  };
+  return apply_hop_shard(model_, l, graph_, shard, mailbox.dim(),
+                         agg_cache_[l - 1], store_.layer(l - 1),
+                         store_.layer(l), scratch_[s],
+                         is_last ? nullptr : &sink, stealer_.get());
 }
 
-std::uint64_t RippleEngine::bucket_sender_blocks(
-    std::size_t l, std::size_t block_lo, std::size_t block_hi,
-    const std::vector<VertexId>& order) {
+std::uint64_t RippleEngine::bucket_sender_block(
+    std::size_t l, std::size_t b, const std::vector<VertexId>& order) {
   const Mailbox& next = mailboxes_[l];
   const bool uses_self = model_.layer(l).uses_self();
   const std::size_t num_blocks = num_shards_;
@@ -141,45 +138,62 @@ std::uint64_t RippleEngine::bucket_sender_blocks(
   // Each block is a contiguous rank range of the canonical sender list; the
   // buckets it fills are appended in ascending-rank order, so draining
   // blocks in index order reconstructs the global ascending-sender order.
-  for (std::size_t b = block_lo; b < block_hi; ++b) {
-    const std::size_t rank_lo = b * order.size() / num_blocks;
-    const std::size_t rank_hi = (b + 1) * order.size() / num_blocks;
-    for (std::size_t r = rank_lo; r < rank_hi; ++r) {
-      if (!send_flags_[r]) continue;
-      const VertexId v = order[r];
-      for (const Neighbor& nb : graph_.out_neighbors(v)) {
-        const std::size_t t = next.shard_of(nb.vertex);
-        msg_buckets_[b * num_shards_ + t].push_back(
-            {static_cast<std::uint32_t>(r), nb.vertex,
-             edge_alpha(nb.weight)});
-        ++messages;
-      }
-      if (uses_self) {
-        self_buckets_[b * num_shards_ + next.shard_of(v)].push_back(v);
-      }
+  const std::size_t rank_lo = b * order.size() / num_blocks;
+  const std::size_t rank_hi = (b + 1) * order.size() / num_blocks;
+  for (std::size_t r = rank_lo; r < rank_hi; ++r) {
+    if (!send_flags_[r]) continue;
+    const VertexId v = order[r];
+    for (const Neighbor& nb : graph_.out_neighbors(v)) {
+      const std::size_t t = next.shard_of(nb.vertex);
+      msg_buckets_[b * num_shards_ + t].push_back(
+          {static_cast<std::uint32_t>(r), nb.vertex,
+           edge_alpha(nb.weight)});
+      ++messages;
+    }
+    if (uses_self) {
+      self_buckets_[b * num_shards_ + next.shard_of(v)].push_back(v);
     }
   }
   return messages;
 }
 
-void RippleEngine::drain_target_shards(std::size_t l, std::size_t shard_lo,
-                                       std::size_t shard_hi) {
+void RippleEngine::drain_target_shard(std::size_t l, std::size_t t) {
   Mailbox& next = mailboxes_[l];
-  // Owner-computes: this call is the only writer of target shards
-  // [shard_lo, shard_hi). Blocks drained in index order + ascending-rank
-  // append order within each bucket = global ascending-sender order per
-  // cell, independent of shard and thread counts.
-  for (std::size_t t = shard_lo; t < shard_hi; ++t) {
-    for (std::size_t b = 0; b < num_shards_; ++b) {
-      std::vector<ScatterMsg>& msgs = msg_buckets_[b * num_shards_ + t];
-      for (const ScatterMsg& m : msgs) {
-        next.accumulate(m.target, m.alpha, delta_block_.row(m.rank), {});
-      }
-      msgs.clear();
-      std::vector<VertexId>& selfs = self_buckets_[b * num_shards_ + t];
-      for (const VertexId v : selfs) next.mark_self_changed(v);
-      selfs.clear();
+  // Owner-computes: this call is the only writer of target shard t. Blocks
+  // drained in index order + ascending-rank append order within each bucket
+  // = global ascending-sender order per cell, independent of shard, thread,
+  // and scheduler choice.
+  for (std::size_t b = 0; b < num_shards_; ++b) {
+    std::vector<ScatterMsg>& msgs = msg_buckets_[b * num_shards_ + t];
+    for (const ScatterMsg& m : msgs) {
+      next.accumulate(m.target, m.alpha, delta_block_.row(m.rank), {});
     }
+    msgs.clear();
+    std::vector<VertexId>& selfs = self_buckets_[b * num_shards_ + t];
+    for (const VertexId v : selfs) next.mark_self_changed(v);
+    selfs.clear();
+  }
+}
+
+void RippleEngine::run_phase(std::size_t n,
+                             std::span<const std::size_t> costs,
+                             const std::function<void(std::size_t)>& task) {
+  // One phase = one parallel region. The stealing runtime takes one task
+  // per index, LPT-seeded by the cost hints; the static path covers the
+  // same indices with contiguous parallel_for chunks (cost-blind — exactly
+  // the skew-prone chunking the scheduler refactor targets, kept as the
+  // comparison baseline and the no-pool fallback).
+  if (stealer_ != nullptr) {
+    stealer_->run(n, costs, task);
+  } else if (pool_ != nullptr) {
+    pool_->parallel_for(
+        0, n,
+        [&task](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) task(i);
+        },
+        /*min_chunk=*/1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) task(i);
   }
 }
 
@@ -187,6 +201,7 @@ BatchResult RippleEngine::propagate() {
   BatchResult result;
   result.num_shards = num_shards_;
   result.num_threads = pool_ != nullptr ? pool_->size() : 1;
+  if (stealer_ != nullptr) stealer_->reset_stats();
   const std::size_t num_layers = model_.num_layers();
   for (std::size_t l = 1; l <= num_layers; ++l) {
     Mailbox& mailbox = mailboxes_[l - 1];
@@ -205,17 +220,15 @@ BatchResult RippleEngine::propagate() {
     }
 
     // ---- apply phase: shard-parallel drain + blocked Update GEMMs ----
+    // One task per shard, costed by its pending-slot count: the hot shard
+    // of a power-law batch is seeded first (LPT) and its GEMM row blocks
+    // are stealable, so it no longer gates the phase.
     StopWatch apply_watch;
     std::atomic<std::uint64_t> apply_ops{0};
-    const auto apply_body = [&](std::size_t lo, std::size_t hi) {
-      apply_ops.fetch_add(apply_shard_range(l, lo, hi, order),
+    run_phase(num_shards_, mailbox.shard_sizes(), [&](std::size_t s) {
+      apply_ops.fetch_add(apply_one_shard(l, s, order),
                           std::memory_order_relaxed);
-    };
-    if (pool_ != nullptr) {
-      pool_->parallel_for(0, num_shards_, apply_body, /*min_chunk=*/1);
-    } else {
-      apply_body(0, num_shards_);
-    }
+    });
     incremental_ops_ += apply_ops.load(std::memory_order_relaxed);
     result.apply_phase_sec += apply_watch.elapsed_sec();
 
@@ -223,25 +236,33 @@ BatchResult RippleEngine::propagate() {
     if (!is_last) {
       StopWatch scatter_watch;
       std::atomic<std::uint64_t> messages{0};
-      const auto bucket_body = [&](std::size_t lo, std::size_t hi) {
-        messages.fetch_add(bucket_sender_blocks(l, lo, hi, order),
-                           std::memory_order_relaxed);
-      };
-      const auto drain_body = [&](std::size_t lo, std::size_t hi) {
-        drain_target_shards(l, lo, hi);
-      };
-      if (pool_ != nullptr) {
-        pool_->parallel_for(0, num_shards_, bucket_body, /*min_chunk=*/1);
-        pool_->parallel_for(0, num_shards_, drain_body, /*min_chunk=*/1);
-      } else {
-        bucket_body(0, num_shards_);
-        drain_body(0, num_shards_);
+      // Stage 1: one task per sender block, costed by its sender count.
+      std::vector<std::size_t> block_costs(num_shards_);
+      for (std::size_t b = 0; b < num_shards_; ++b) {
+        block_costs[b] = (b + 1) * order.size() / num_shards_ -
+                         b * order.size() / num_shards_;
       }
+      run_phase(num_shards_, block_costs, [&](std::size_t b) {
+        messages.fetch_add(bucket_sender_block(l, b, order),
+                           std::memory_order_relaxed);
+      });
+      // Stage 2: one task per target shard, costed by its pending messages
+      // (known exactly now that stage 1 filled the buckets).
+      std::vector<std::size_t> drain_costs(num_shards_, 0);
+      for (std::size_t t = 0; t < num_shards_; ++t) {
+        for (std::size_t b = 0; b < num_shards_; ++b) {
+          drain_costs[t] += msg_buckets_[b * num_shards_ + t].size() +
+                            self_buckets_[b * num_shards_ + t].size();
+        }
+      }
+      run_phase(num_shards_, drain_costs,
+                [&](std::size_t t) { drain_target_shard(l, t); });
       incremental_ops_ += messages.load(std::memory_order_relaxed);
       result.compute_phase_sec += scatter_watch.elapsed_sec();
     }
     mailbox.clear();
   }
+  if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }
 

@@ -14,7 +14,11 @@
 // Shard-parallel propagation core
 // -------------------------------
 // Each hop's mailbox is sharded by vertex hash (core/mailbox.h), and each
-// hop runs as two phases executed over the ThreadPool:
+// hop runs as two phases executed over the selected scheduler
+// (RippleOptions::scheduler): the work-stealing runtime submits one task
+// per shard / sender block, LPT-seeded by pending-slot counts and stolen on
+// imbalance (common/scheduler.h); the static scheduler splits the same
+// index ranges into contiguous ThreadPool::parallel_for chunks.
 //
 //  * Apply phase — shard-parallel. Each worker drains whole shards: it
 //    folds the shard's accumulated Δagg into the aggregate cache, gathers
@@ -39,16 +43,20 @@
 // cell has a single writer and receives its messages in ascending
 // sender-id order (contiguous blocks drained in order reconstruct the
 // global sort, independent of how senders block or targets hash to
-// shards). Embeddings are therefore bit-identical for ANY shard count and
-// ANY thread count, including the sequential 1-shard/1-thread
-// configuration (property-tested in tests/core/test_ripple_properties.cpp).
+// shards). Embeddings are therefore bit-identical for ANY scheduler mode,
+// ANY shard count, and ANY thread count, including the sequential
+// 1-shard/1-thread configuration — the scheduler only decides WHICH worker
+// runs a task, never what it computes or in what within-task order
+// (property-tested in tests/core/test_ripple_properties.cpp).
 // Per-phase timings, shard and thread counts are reported through
 // BatchResult.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/scheduler.h"
 #include "core/hop_kernel.h"
 #include "core/mailbox.h"
 #include "infer/engine.h"
@@ -67,6 +75,13 @@ struct RippleOptions {
   // work units to balance. Embeddings do not depend on this value (see the
   // determinism note above) — it only shapes parallel granularity.
   std::size_t num_shards = 0;
+
+  // Propagation-phase scheduler. kSteal (default) submits one task per
+  // shard / sender block to the work-stealing runtime, LPT-seeded by
+  // pending-slot counts, so a power-law hot shard no longer gates the
+  // phase; kStatic keeps the contiguous parallel_for chunking. Embeddings
+  // are bit-identical either way (see the determinism note above).
+  SchedulerMode scheduler = SchedulerMode::kSteal;
 };
 
 class RippleEngine : public InferenceEngine {
@@ -91,6 +106,13 @@ class RippleEngine : public InferenceEngine {
   // Resolved shard count (after the num_shards=0 auto rule).
   std::size_t num_shards() const { return num_shards_; }
 
+  // Scheduler the propagation phases run on. kSteal silently degrades to
+  // the sequential path when no pool was given (nothing to steal from).
+  SchedulerMode scheduler_mode() const {
+    return stealer_ != nullptr ? SchedulerMode::kSteal
+                               : SchedulerMode::kStatic;
+  }
+
   // Test hook: layer-l aggregate cache (l in [1, L]).
   const Matrix& aggregate_cache(std::size_t l) const {
     return agg_cache_[l - 1];
@@ -109,22 +131,23 @@ class RippleEngine : public InferenceEngine {
   void seed_edge_messages(VertexId u, VertexId v, EdgeWeight weight,
                           bool is_add);
   void apply_feature_update(const GraphUpdate& update);
-  // Apply phase of hop l for shards [shard_lo, shard_hi); returns this
-  // range's incremental-op count. `order` is the canonical (sorted)
-  // affected set; delta rows are written at each vertex's rank in it.
-  std::uint64_t apply_shard_range(std::size_t l, std::size_t shard_lo,
-                                  std::size_t shard_hi,
-                                  const std::vector<VertexId>& order);
-  // Compute-phase stage 1 of hop l: scan sender blocks [block_lo, block_hi)
-  // (contiguous rank ranges of `order`) and bucket their messages per
-  // (block, target shard); returns the range's message count.
-  std::uint64_t bucket_sender_blocks(std::size_t l, std::size_t block_lo,
-                                     std::size_t block_hi,
-                                     const std::vector<VertexId>& order);
-  // Compute-phase stage 2 of hop l: drain the buckets of target shards
-  // [shard_lo, shard_hi) of the hop-(l+1) mailbox in block order.
-  void drain_target_shards(std::size_t l, std::size_t shard_lo,
-                           std::size_t shard_hi);
+  // Apply-phase task: drain shard s of hop l; returns its incremental-op
+  // count. `order` is the canonical (sorted) affected set; delta rows are
+  // written at each vertex's rank in it.
+  std::uint64_t apply_one_shard(std::size_t l, std::size_t s,
+                                const std::vector<VertexId>& order);
+  // Compute-phase stage-1 task of hop l: scan sender block b (a contiguous
+  // rank range of `order`) and bucket its messages per (block, target
+  // shard); returns the block's message count.
+  std::uint64_t bucket_sender_block(std::size_t l, std::size_t b,
+                                    const std::vector<VertexId>& order);
+  // Compute-phase stage-2 task of hop l: drain target shard t of the
+  // hop-(l+1) mailbox in block order.
+  void drain_target_shard(std::size_t l, std::size_t t);
+  // One parallel region over [0, n) task indices on the selected scheduler
+  // (stealing with LPT cost hints, static contiguous chunks, or inline).
+  void run_phase(std::size_t n, std::span<const std::size_t> costs,
+                 const std::function<void(std::size_t)>& task);
 
   GnnModel model_;
   DynamicGraph graph_;
@@ -132,6 +155,10 @@ class RippleEngine : public InferenceEngine {
   std::vector<Matrix> agg_cache_;   // [l-1] -> n x layer_in_dim(l-1) sums
   std::vector<Mailbox> mailboxes_;  // [l-1] -> hop-l mailbox
   ThreadPool* pool_;
+  // Work-stealing runtime for the propagation phases (null = static
+  // chunking / sequential). Owns the per-participant deques; reset per
+  // batch so BatchResult reports per-batch steal/imbalance stats.
+  std::unique_ptr<WorkStealingScheduler> stealer_;
   RippleOptions options_;
   std::size_t num_shards_ = 1;
   std::uint64_t incremental_ops_ = 0;

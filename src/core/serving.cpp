@@ -40,6 +40,7 @@ std::size_t StreamingServer::flush() {
   stats_.num_threads = result.num_threads;
   stats_.apply_phase_sec += result.apply_phase_sec;
   stats_.compute_phase_sec += result.compute_phase_sec;
+  stats_.sched.accumulate(result.sched);
   const std::size_t applied = pending_.size();
   pending_.clear();
   refresh_labels_and_notify();

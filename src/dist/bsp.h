@@ -5,8 +5,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
+#include "common/scheduler.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dist/transport.h"
@@ -34,6 +36,55 @@ double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
     timed(0, num_parts);
   }
   return *std::max_element(elapsed.begin(), elapsed.end());
+}
+
+// Work-stealing variant of timed_over_parts for phases whose per-partition
+// work decomposes into independent sub-tasks (mailbox shard drains,
+// recompute blocks). All partitions' tasks run through the stealing
+// scheduler at once — on a multi-core host a hot partition's shards really
+// do spread over idle workers — and each task's wall seconds are measured.
+//
+// Accounting: in the modeled cluster every partition is a machine with
+// W = scheduler width workers stealing across ITS OWN tasks, so partition
+// p's endpoint is the W-worker makespan lower bound over its measured task
+// times, max(Σ_s t_{p,s} / W, max_s t_{p,s}); the returned phase cost is
+// the slowest endpoint (BSP max rule). With W = 1 this reduces exactly to
+// timed_over_parts' serial-sum endpoint. See src/dist/README.md.
+//
+// Constraint: body must NOT open a nested scheduler region. The stealing
+// runtime's help-first discipline would let the nesting task execute whole
+// OTHER tasks of this phase inside its own stopwatch, double-counting their
+// seconds and cross-billing them to the wrong partition's endpoint.
+struct PartTask {
+  std::uint32_t part;  // owning partition (endpoint the task bills to)
+  std::size_t cost;    // LPT seeding hint (pending slots / degree sum)
+};
+
+template <typename Body>
+double timed_over_part_tasks(WorkStealingScheduler& scheduler,
+                             std::size_t num_parts,
+                             const std::vector<PartTask>& tasks,
+                             const Body& body) {
+  std::vector<std::size_t> costs(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) costs[i] = tasks[i].cost;
+  std::vector<double> task_sec(tasks.size(), 0.0);
+  scheduler.run(tasks.size(), costs, [&](std::size_t i) {
+    StopWatch watch;
+    body(i);
+    task_sec[i] = watch.elapsed_sec();  // single writer per index
+  });
+  const double width = static_cast<double>(scheduler.width());
+  std::vector<double> sum(num_parts, 0.0);
+  std::vector<double> longest(num_parts, 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    sum[tasks[i].part] += task_sec[i];
+    longest[tasks[i].part] = std::max(longest[tasks[i].part], task_sec[i]);
+  }
+  double slowest = 0.0;
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    slowest = std::max(slowest, std::max(sum[p] / width, longest[p]));
+  }
+  return slowest;
 }
 
 // Ingress routing: the leader (partition 0) ships the batch to every other

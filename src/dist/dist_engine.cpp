@@ -10,14 +10,16 @@ std::unique_ptr<DistEngineBase> make_dist_engine(
     const std::string& key, const GnnModel& model,
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool,
-    const TransportOptions& options) {
+    const TransportOptions& options, SchedulerMode scheduler) {
   if (key == "ripple") {
     return std::make_unique<DistRippleEngine>(model, snapshot, features,
-                                              partition, pool, options);
+                                              partition, pool, options,
+                                              scheduler);
   }
   if (key == "rc") {
     return std::make_unique<DistRecomputeEngine>(model, snapshot, features,
-                                                 partition, pool, options);
+                                                 partition, pool, options,
+                                                 scheduler);
   }
   throw check_error("unknown dist engine '" + key + "' (ripple|rc)");
 }

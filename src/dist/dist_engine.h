@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/scheduler.h"
 #include "dist/transport.h"
 #include "gnn/model.h"
 #include "graph/dynamic_graph.h"
@@ -40,6 +41,10 @@ struct DistBatchResult {
   double comm_sec = 0;
   std::size_t wire_bytes = 0;     // payload + headers, all supersteps
   std::size_t wire_messages = 0;  // messages across all supersteps
+  // Work-stealing scheduler stats of the apply phases (all-zero on the
+  // static scheduler): see common/scheduler.h and the BSP accounting note
+  // in src/dist/README.md.
+  SchedulerStats sched;
   double total_sec() const { return compute_sec + comm_sec; }
 };
 
@@ -67,11 +72,16 @@ class DistEngineBase {
 };
 
 // Factory keys used by the dist benches: "ripple" (incremental,
-// delta-shipping) and "rc" (full recompute, halo-pulling).
+// delta-shipping) and "rc" (full recompute, halo-pulling). `scheduler`
+// selects the apply-phase runtime: kSteal spreads a hot partition's
+// sub-tasks (mailbox shards / recompute blocks) over idle workers; kStatic
+// keeps the per-partition parallel_for chunking. Embeddings are
+// bit-identical either way.
 std::unique_ptr<DistEngineBase> make_dist_engine(
     const std::string& key, const GnnModel& model,
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool = nullptr,
-    const TransportOptions& options = default_transport_options());
+    const TransportOptions& options = default_transport_options(),
+    SchedulerMode scheduler = SchedulerMode::kSteal);
 
 }  // namespace ripple

@@ -15,11 +15,15 @@ DistRecomputeEngine::DistRecomputeEngine(const GnnModel& model,
                                          DynamicGraph snapshot,
                                          const Matrix& features,
                                          Partition partition, ThreadPool* pool,
-                                         const TransportOptions& options)
+                                         const TransportOptions& options,
+                                         SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
       store_(model.config(), graph_.num_vertices()),
       transport_(partition_.num_parts(), options), pool_(pool) {
+  if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
+    stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
+  }
   RIPPLE_CHECK(features.rows() == graph_.num_vertices());
   RIPPLE_CHECK_MSG(partition_.num_vertices() <= graph_.num_vertices(),
                    "partition covers more vertices than the snapshot");
@@ -40,6 +44,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   const std::size_t wire_bytes_before = transport_.wire_bytes();
   const std::size_t wire_messages_before = transport_.wire_messages();
   const std::size_t num_parts = partition_.num_parts();
+  if (stealer_ != nullptr) stealer_->reset_stats();
 
   // ---- superstep U: ingress routing + replica update application ----
   transport_.begin_superstep();
@@ -76,25 +81,69 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
     result.comm_sec += transport_.end_superstep();
 
     // Owned recompute: identical per-row work to single-machine RC; rows
-    // are independent, so the partition split cannot change the bits.
-    result.compute_sec +=
-        timed_over_parts(pool_, num_parts, [&](std::size_t p) {
-          auto& x_scratch = x_scratch_[p];
-          x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
-          for (const VertexId v : affected[l]) {
-            if (owner(v) != p) continue;
-            aggregate_neighbors(model_.config().aggregator,
-                                graph_.in_neighbors(v), h_prev, x_scratch);
-            model_.layer(l).update_row(h_prev.row(v), x_scratch,
-                                       h_out.row(v));
-            model_.apply_activation_row(l, h_out.row(v));
+    // are independent, so neither the partition split nor the scheduler
+    // can change the bits.
+    const auto recompute_row = [&](VertexId v, std::vector<float>& x_scratch) {
+      aggregate_neighbors(model_.config().aggregator, graph_.in_neighbors(v),
+                          h_prev, x_scratch);
+      model_.layer(l).update_row(h_prev.row(v), x_scratch, h_out.row(v));
+      model_.apply_activation_row(l, h_out.row(v));
+    };
+    if (stealer_ != nullptr) {
+      // One stealable task per block of a partition's owned affected
+      // vertices, costed by Σ in-degree — the pull work InkStream observes
+      // is concentrated on a few high-degree vertices. A hot partition's
+      // endpoint is the W-worker makespan bound over its blocks
+      // (dist/bsp.h).
+      std::vector<std::vector<VertexId>> owned(num_parts);
+      for (const VertexId v : affected[l]) owned[owner(v)].push_back(v);
+      constexpr std::size_t kBlock = 64;
+      struct Block {
+        std::uint32_t part;
+        std::size_t lo, hi;
+      };
+      std::vector<Block> blocks;
+      std::vector<PartTask> tasks;
+      for (std::size_t p = 0; p < num_parts; ++p) {
+        for (std::size_t lo = 0; lo < owned[p].size(); lo += kBlock) {
+          const std::size_t hi = std::min(owned[p].size(), lo + kBlock);
+          std::size_t cost = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            cost += graph_.in_degree(owned[p][i]) + 1;
           }
-        });
+          blocks.push_back({static_cast<std::uint32_t>(p), lo, hi});
+          tasks.push_back({static_cast<std::uint32_t>(p), cost});
+        }
+      }
+      if (block_scratch_.size() < blocks.size()) {
+        block_scratch_.resize(blocks.size());
+      }
+      result.compute_sec += timed_over_part_tasks(
+          *stealer_, num_parts, tasks, [&](std::size_t i) {
+            const Block& block = blocks[i];
+            std::vector<float>& x_scratch = block_scratch_[i];
+            x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
+            for (std::size_t j = block.lo; j < block.hi; ++j) {
+              recompute_row(owned[block.part][j], x_scratch);
+            }
+          });
+    } else {
+      result.compute_sec +=
+          timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+            auto& x_scratch = x_scratch_[p];
+            x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
+            for (const VertexId v : affected[l]) {
+              if (owner(v) != p) continue;
+              recompute_row(v, x_scratch);
+            }
+          });
+    }
   }
   result.propagation_tree_size = propagation_tree_size(affected);
   result.affected_final = affected.back().size();
   result.wire_bytes = transport_.wire_bytes() - wire_bytes_before;
   result.wire_messages = transport_.wire_messages() - wire_messages_before;
+  if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }
 

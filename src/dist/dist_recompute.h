@@ -23,7 +23,8 @@ class DistRecomputeEngine : public DistEngineBase {
  public:
   DistRecomputeEngine(const GnnModel& model, DynamicGraph snapshot,
                       const Matrix& features, Partition partition,
-                      ThreadPool* pool, const TransportOptions& options);
+                      ThreadPool* pool, const TransportOptions& options,
+                      SchedulerMode scheduler = SchedulerMode::kSteal);
 
   const char* name() const override { return "dist-RC"; }
   DistBatchResult apply_batch(UpdateBatch batch) override;
@@ -42,10 +43,19 @@ class DistRecomputeEngine : public DistEngineBase {
   EmbeddingStore store_;  // union of owned rows; single writer = owner
   SimTransport transport_;
   ThreadPool* pool_;
+  // Work-stealing runtime for the recompute phase (null = static
+  // per-partition chunks): a hot partition's owned affected vertices run
+  // as degree-costed blocks stolen by idle workers; its endpoint is the
+  // W-worker makespan bound (dist/bsp.h).
+  std::unique_ptr<WorkStealingScheduler> stealer_;
 
   // Per-partition scratch: the pull buffer and the fetch-dedup epoch stamp
   // (a remote row is fetched once per partition per hop).
   std::vector<std::vector<float>> x_scratch_;
+  // Steal-path pull buffers, one per block task (tasks of one region must
+  // not share); grown on demand, capacity reused across batches so the hot
+  // loop stays allocation-free after warm-up.
+  std::vector<std::vector<float>> block_scratch_;
   std::vector<std::vector<std::uint32_t>> fetch_stamp_;
   std::uint32_t fetch_epoch_ = 0;
 };

@@ -20,11 +20,15 @@ DistRippleEngine::DistRippleEngine(const GnnModel& model,
                                    DynamicGraph snapshot,
                                    const Matrix& features, Partition partition,
                                    ThreadPool* pool,
-                                   const TransportOptions& options)
+                                   const TransportOptions& options,
+                                   SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
       store_(model.config(), graph_.num_vertices()),
       transport_(partition_.num_parts(), options), pool_(pool) {
+  if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
+    stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
+  }
   RIPPLE_CHECK_MSG(is_linear(model_.config().aggregator),
                    "Ripple requires a linear aggregation function; got "
                        << aggregator_name(model_.config().aggregator));
@@ -40,7 +44,9 @@ DistRippleEngine::DistRippleEngine(const GnnModel& model,
                               kShardsPerPart);
     }
   }
-  scratch_.resize(num_parts);
+  // One scratch per (partition, shard): with the stealing scheduler a
+  // partition's shard drains run concurrently, so they cannot share.
+  scratch_.resize(num_parts * kShardsPerPart);
   senders_.resize(num_parts);
   delta_.resize(num_parts);
   merge_.resize(num_parts);
@@ -139,6 +145,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
   const std::size_t wire_messages_before = transport_.wire_messages();
   const std::size_t num_parts = partition_.num_parts();
   const std::size_t num_layers = model_.num_layers();
+  if (stealer_ != nullptr) stealer_->reset_stats();
 
   // ---- superstep U: routing + halo fetches + hop-0 seeding ----
   transport_.begin_superstep();
@@ -159,21 +166,68 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
 
     // Apply: every partition drains its own mailbox with the shared hop
     // kernel; Δh lands at each vertex's rank in the partition's sorted
-    // sender list. Owner-computes: partitions write disjoint rows.
-    result.compute_sec += timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+    // sender list. Owner-computes: partitions write disjoint rows, and
+    // within a partition shards hold disjoint vertices — so the drains are
+    // independent tasks no matter which worker runs them.
+    // No nested GEMM stealing here (scheduler = nullptr): each drain is a
+    // per-task-billed body under timed_over_part_tasks, and a nested region
+    // would let the help-first loop execute OTHER partitions' drains inside
+    // this task's stopwatch, cross-billing their seconds into the wrong
+    // endpoint. Intra-partition parallelism is already modeled by the
+    // W-worker makespan bound.
+    const auto drain_shard = [&](std::size_t p, std::size_t s) {
       Mailbox& box = mailbox(p, l);
-      // The last hop emits no messages: skip the sender sort and deltas.
-      senders_[p] = is_last ? std::vector<VertexId>{} : box.sorted_vertices();
-      if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
-      for (std::size_t s = 0; s < box.num_shards(); ++s) {
-        const Mailbox::Shard& shard = box.shard(s);
-        if (shard.size() == 0) continue;
-        const RankDeltaSink sink(senders_[p], delta_[p]);
-        apply_hop_shard(model_, l, graph_, shard, box.dim(), agg_cache_[l - 1],
-                        store_.layer(l - 1), store_.layer(l), scratch_[p],
-                        is_last ? nullptr : &sink);
+      const Mailbox::Shard& shard = box.shard(s);
+      if (shard.size() == 0) return;
+      const RankDeltaSink sink(senders_[p], delta_[p]);
+      apply_hop_shard(model_, l, graph_, shard, box.dim(), agg_cache_[l - 1],
+                      store_.layer(l - 1), store_.layer(l),
+                      scratch_[p * kShardsPerPart + s],
+                      is_last ? nullptr : &sink);
+    };
+    if (stealer_ != nullptr) {
+      // Per-partition prologue (sender sort + delta sizing): its own
+      // max-endpoint mini-phase, every machine sorting its own senders.
+      std::vector<double> prologue_sec(num_parts, 0.0);
+      for (std::size_t p = 0; p < num_parts; ++p) {
+        StopWatch watch;
+        Mailbox& box = mailbox(p, l);
+        senders_[p] =
+            is_last ? std::vector<VertexId>{} : box.sorted_vertices();
+        if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
+        prologue_sec[p] = watch.elapsed_sec();
       }
-    });
+      result.compute_sec +=
+          *std::max_element(prologue_sec.begin(), prologue_sec.end());
+      // One stealable task per (partition, shard), LPT-seeded by pending
+      // slots; a partition's endpoint is the W-worker makespan bound over
+      // its shard drains (dist/bsp.h), so a hot partition stops gating the
+      // superstep.
+      std::vector<PartTask> tasks;
+      tasks.reserve(num_parts * kShardsPerPart);
+      for (std::size_t p = 0; p < num_parts; ++p) {
+        for (std::size_t s = 0; s < kShardsPerPart; ++s) {
+          tasks.push_back({static_cast<std::uint32_t>(p),
+                           mailbox(p, l).shard(s).size()});
+        }
+      }
+      result.compute_sec += timed_over_part_tasks(
+          *stealer_, num_parts, tasks, [&](std::size_t i) {
+            drain_shard(tasks[i].part, i % kShardsPerPart);
+          });
+    } else {
+      result.compute_sec +=
+          timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+            Mailbox& box = mailbox(p, l);
+            // The last hop emits no messages: skip sender sort and deltas.
+            senders_[p] =
+                is_last ? std::vector<VertexId>{} : box.sorted_vertices();
+            if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
+            for (std::size_t s = 0; s < box.num_shards(); ++s) {
+              drain_shard(p, s);
+            }
+          });
+    }
 
     if (!is_last) {
       // Exchange: one Δh row per (changed vertex, remote partition with at
@@ -241,6 +295,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
 
   result.wire_bytes = transport_.wire_bytes() - wire_bytes_before;
   result.wire_messages = transport_.wire_messages() - wire_messages_before;
+  if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }
 

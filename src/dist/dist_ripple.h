@@ -12,7 +12,12 @@
 //                so the nullify/insert messages can be seeded locally.
 //   hop l      — apply: every partition drains its own hop-l mailbox with
 //                the shared hop kernel (core/hop_kernel.h), producing Δh per
-//                owned affected vertex;
+//                owned affected vertex. On the stealing scheduler the drain
+//                is one task per (partition, mailbox shard), LPT-seeded by
+//                pending-slot count, so a hot partition's shards spread
+//                over idle workers and its modeled endpoint is the
+//                W-worker makespan bound (dist/bsp.h) instead of the
+//                serial shard sum;
 //                exchange: each changed vertex's Δh is sent ONCE to every
 //                remote partition owning at least one of its out-neighbors
 //                (the §5.1 stub-combining rule — the receiver re-expands the
@@ -40,7 +45,8 @@ class DistRippleEngine : public DistEngineBase {
  public:
   DistRippleEngine(const GnnModel& model, DynamicGraph snapshot,
                    const Matrix& features, Partition partition,
-                   ThreadPool* pool, const TransportOptions& options);
+                   ThreadPool* pool, const TransportOptions& options,
+                   SchedulerMode scheduler = SchedulerMode::kSteal);
 
   const char* name() const override { return "dist-Ripple"; }
   DistBatchResult apply_batch(UpdateBatch batch) override;
@@ -92,9 +98,14 @@ class DistRippleEngine : public DistEngineBase {
   std::vector<Mailbox> mailboxes_;  // [part * L + (l-1)]
   SimTransport transport_;
   ThreadPool* pool_;
+  // Work-stealing runtime for the apply phase (null = static per-partition
+  // chunks): a hot partition's mailbox-shard drains spread over idle
+  // workers, and its modeled endpoint shrinks from the serial shard sum to
+  // the W-worker makespan bound (dist/bsp.h).
+  std::unique_ptr<WorkStealingScheduler> stealer_;
 
   // Per-partition hop state, reused across batches.
-  std::vector<HopShardScratch> scratch_;        // one per partition
+  std::vector<HopShardScratch> scratch_;        // one per (part, shard)
   std::vector<std::vector<VertexId>> senders_;  // owned affected, ascending
   std::vector<Matrix> delta_;                   // local-rank-major Δh rows
   // Expansion merge list: (sender id, Δh row) from local + inbox sources.

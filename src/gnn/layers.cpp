@@ -82,41 +82,62 @@ void GnnLayer::update_row(std::span<const float> h_self,
   gemv_row_accum(q, gin.w2, out);
 }
 
-void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
-                             Matrix& h_out, ThreadPool* pool) const {
-  RIPPLE_CHECK(x_agg.cols() == in_dim_);
-  if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
-    gemm(x_agg, gc->weight, h_out, pool);
+namespace {
+
+// One body for both parallel backends: `Par` is ThreadPool (static chunked
+// gemm) or WorkStealingScheduler (stealable, nested-safe row blocks) — the
+// gemm overload set picks the right runtime. Row results are backend
+// independent, so the bits match across all three (incl. par == nullptr).
+template <typename Par>
+void update_matrix_impl(const GnnLayer::Params& params, std::size_t in_dim,
+                        const Matrix& h_prev, const Matrix& x_agg,
+                        Matrix& h_out, Par* par) {
+  RIPPLE_CHECK(x_agg.cols() == in_dim);
+  if (const auto* gc = std::get_if<GraphConvParams>(&params)) {
+    gemm(x_agg, gc->weight, h_out, par);
     add_bias_rows(h_out, gc->bias);
     return;
   }
-  RIPPLE_CHECK(h_prev.cols() == in_dim_ && h_prev.rows() == x_agg.rows());
-  if (const auto* sage = std::get_if<SageParams>(&params_)) {
-    gemm(h_prev, sage->w_self, h_out, pool);
+  RIPPLE_CHECK(h_prev.cols() == in_dim && h_prev.rows() == x_agg.rows());
+  if (const auto* sage = std::get_if<SageParams>(&params)) {
+    gemm(h_prev, sage->w_self, h_out, par);
     Matrix neigh_part;
-    gemm(x_agg, sage->w_neigh, neigh_part, pool);
+    gemm(x_agg, sage->w_neigh, neigh_part, par);
     for (std::size_t r = 0; r < h_out.rows(); ++r) {
       vec_add(h_out.row(r), neigh_part.row(r));
     }
     add_bias_rows(h_out, sage->bias);
     return;
   }
-  const auto& gin = std::get<GinParams>(params_);
-  Matrix z(h_prev.rows(), in_dim_);
+  const auto& gin = std::get<GinParams>(params);
+  Matrix z(h_prev.rows(), in_dim);
   for (std::size_t r = 0; r < z.rows(); ++r) {
     auto zr = z.row(r);
     const auto hr = h_prev.row(r);
     const auto xr = x_agg.row(r);
-    for (std::size_t j = 0; j < in_dim_; ++j) {
+    for (std::size_t j = 0; j < in_dim; ++j) {
       zr[j] = (1.0f + gin.eps) * hr[j] + xr[j];
     }
   }
   Matrix q;
-  gemm(z, gin.w1, q, pool);
+  gemm(z, gin.w1, q, par);
   add_bias_rows(q, gin.b1);
   relu_inplace(q);
-  gemm(q, gin.w2, h_out, pool);
+  gemm(q, gin.w2, h_out, par);
   add_bias_rows(h_out, gin.b2);
+}
+
+}  // namespace
+
+void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
+                             Matrix& h_out, ThreadPool* pool) const {
+  update_matrix_impl(params_, in_dim_, h_prev, x_agg, h_out, pool);
+}
+
+void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
+                             Matrix& h_out,
+                             WorkStealingScheduler* scheduler) const {
+  update_matrix_impl(params_, in_dim_, h_prev, x_agg, h_out, scheduler);
 }
 
 std::size_t GnnLayer::num_parameters() const {

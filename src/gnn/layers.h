@@ -20,6 +20,7 @@ namespace ripple {
 
 class Rng;
 class ThreadPool;
+class WorkStealingScheduler;
 
 enum class LayerKind { graph_conv, sage, gin };
 
@@ -74,6 +75,13 @@ class GnnLayer {
   // Whole-graph: h_out = Update(h_prev, x_agg) row-wise (pre-activation).
   void update_matrix(const Matrix& h_prev, const Matrix& x_agg, Matrix& h_out,
                      ThreadPool* pool = nullptr) const;
+
+  // Work-stealing variant: the GEMM row blocks become stealable tasks, so a
+  // hot shard's blocked Update spreads across idle participants even when
+  // called from inside a scheduler task (nested region). Bit-identical to
+  // the serial/pool paths — rows are computed independently either way.
+  void update_matrix(const Matrix& h_prev, const Matrix& x_agg, Matrix& h_out,
+                     WorkStealingScheduler* scheduler) const;
 
   const Params& params() const { return params_; }
   Params& mutable_params() { return params_; }

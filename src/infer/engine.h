@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "common/scheduler.h"
 #include "gnn/model.h"
 #include "graph/dynamic_graph.h"
 #include "stream/update.h"
@@ -34,6 +36,10 @@ struct BatchResult {
   std::size_t num_threads = 0;   // pool width the batch ran with
   double apply_phase_sec = 0;    // Σ hops: mailbox drain + blocked GEMMs
   double compute_phase_sec = 0;  // Σ hops: Δh scatter into next-hop mailbox
+  // Work-stealing scheduler stats for this batch (common/scheduler.h);
+  // all-zero when the static scheduler ran or the engine has no parallel
+  // propagation core (it has no per-participant accounting).
+  SchedulerStats sched;
   double total_sec() const { return update_sec + propagate_sec; }
 };
 

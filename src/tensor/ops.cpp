@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/scheduler.h"
 #include "common/thread_pool.h"
 
 namespace ripple {
@@ -41,6 +42,26 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c, ThreadPool* pool) {
   if (pool != nullptr && m >= 128) {
     pool->parallel_for(
         0, m, [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
+        64);
+  } else {
+    gemm_rows(a, b, c, 0, m);
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          WorkStealingScheduler* scheduler) {
+  RIPPLE_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: a is "
+                                             << a.rows() << 'x' << a.cols()
+                                             << ", b is " << b.rows() << 'x'
+                                             << b.cols());
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    c.resize(a.rows(), b.cols());
+  }
+  const std::size_t m = a.rows();
+  if (scheduler != nullptr && m >= 128) {
+    scheduler->parallel_range(
+        0, m,
+        [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
         64);
   } else {
     gemm_rows(a, b, c, 0, m);

@@ -10,10 +10,19 @@
 namespace ripple {
 
 class ThreadPool;
+class WorkStealingScheduler;
 
 // C = A (m x k) * B (k x n). C is resized. Threaded for large m.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c,
           ThreadPool* pool = nullptr);
+
+// Work-stealing variant: row blocks become stealable tasks. Safe to call
+// from INSIDE a scheduler task (the nested blocks are stolen by idle
+// participants instead of the range serializing inline) — this is how a hot
+// shard's blocked Update GEMM spreads across the pool. Row results are
+// independent of the split, so the output bits match the serial path.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          WorkStealingScheduler* scheduler);
 
 // C = A^T (k x m)^T * B (k x n) -> (m x n). Used for weight gradients.
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);
