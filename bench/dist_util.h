@@ -5,12 +5,15 @@
 // on its header so the dist benches compile into informative stubs.
 #pragma once
 
+#include <cstdio>
+
 #include "bench_util.h"
 #include "partition/partition.h"
 
 #if __has_include("dist/dist_engine.h")
 #define RIPPLE_HAS_DIST 1
 #include "dist/dist_engine.h"
+#include "dist/tcp_transport.h"
 #else
 #define RIPPLE_HAS_DIST 0
 #endif
@@ -28,14 +31,61 @@ inline Partition make_partition(const DynamicGraph& graph,
 
 #if RIPPLE_HAS_DIST
 
+// Transport selection shared by the dist benches and the distributed
+// example: --transport=sim (default, modeled cost) or --transport=tcp
+// (real sockets, measured seconds; needs --rank and --peers).
+struct TransportSpec {
+  std::string kind = "sim";
+  TcpConfig tcp;  // valid only when kind == "tcp"
+
+  bool is_tcp() const { return kind == "tcp"; }
+  std::size_t world_size() const { return tcp.peers.size(); }
+
+  static TransportSpec from_flags(const Flags& flags) {
+    TransportSpec spec;
+    spec.kind = flags.get_choice("transport", {"sim", "tcp"}, "sim");
+    if (spec.is_tcp()) spec.tcp = TcpConfig::from_flags(flags);
+    return spec;
+  }
+};
+
+// Bench-side tcp run policy: one rank per partition (the world size pins
+// the partition sweep to a single entry) and only the leader narrates —
+// every rank runs the identical sweep, so non-leaders mute stdout.
+inline void apply_tcp_run_policy(const TransportSpec& spec,
+                                 std::vector<std::int64_t>& part_counts) {
+  if (!spec.is_tcp()) return;
+  part_counts = {static_cast<std::int64_t>(spec.world_size())};
+  if (spec.tcp.rank != 0) {
+    std::freopen("/dev/null", "w", stdout);
+  }
+}
+
+inline std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+                                                 std::size_t num_parts) {
+  if (spec.is_tcp()) {
+    RIPPLE_CHECK_MSG(num_parts == spec.world_size(),
+                     "--transport=tcp runs one rank per partition: "
+                         << spec.world_size() << " peers vs " << num_parts
+                         << " partitions");
+    return std::make_unique<TcpTransport>(
+        num_parts, default_transport_options(), spec.tcp);
+  }
+  return std::make_unique<SimTransport>(num_parts,
+                                        default_transport_options());
+}
+
 struct DistRunMetrics {
   std::string engine;
   std::size_t batch_size = 0;
   std::size_t num_batches = 0;
-  double throughput_ups = 0;       // vs modeled total (compute + comm) time
+  double throughput_ups = 0;       // vs total (compute + comm) time
   double median_latency_sec = 0;
   double compute_sec = 0;          // totals across the run
   double comm_sec = 0;
+  // True when the run's seconds are measured wall clock (tcp transport)
+  // rather than the cost model's output — never average the two kinds.
+  bool comm_measured = false;
   std::size_t wire_bytes = 0;
   std::size_t wire_messages = 0;
 };
@@ -53,6 +103,7 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
     latencies.push_back(result.total_sec());
     metrics.compute_sec += result.compute_sec;
     metrics.comm_sec += result.comm_sec;
+    metrics.comm_measured = result.comm_measured;
     metrics.wire_bytes += result.wire_bytes;
     metrics.wire_messages += result.wire_messages;
     ++metrics.num_batches;

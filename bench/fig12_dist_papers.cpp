@@ -28,11 +28,13 @@ int main(int argc, char** argv) {
       flags.get_int_list("batch-sizes", quick
                                             ? std::vector<std::int64_t>{10, 100}
                                             : std::vector<std::int64_t>{10, 100, 1000});
-  const auto part_counts = flags.get_int_list(
+  auto part_counts = flags.get_int_list(
       "partitions", quick ? std::vector<std::int64_t>{4, 8}
                           : std::vector<std::int64_t>{4, 8, 16});
   set_log_level(log_level::warn);
   set_transport_options(TransportOptions::from_flags(flags));
+  const auto transport_spec = bench::TransportSpec::from_flags(flags);
+  bench::apply_tcp_run_policy(transport_spec, part_counts);
 
   bench::print_header("Fig. 12: distributed Ripple vs RC on Papers analogue");
   const auto prepared = bench::prepare("papers-s", scale, quick ? 800 : 4000,
@@ -42,7 +44,9 @@ int main(int argc, char** argv) {
               ds.graph.num_edges(), ds.graph.avg_in_degree());
 
   // ---- (a) 8 partitions, GC-S / GC-M, throughput + latency ----
-  const std::size_t parts_a = quick ? 4 : 8;
+  const std::size_t parts_a = transport_spec.is_tcp()
+                                  ? transport_spec.world_size()
+                                  : (quick ? 4 : 8);
   const auto partition_a = bench::make_partition(ds.graph, parts_a);
   std::printf("\n(a) %zu partitions (LDG+refine cut: %zu of %zu edges)\n",
               parts_a, partition_a.edge_cut(ds.graph), ds.graph.num_edges());
@@ -55,12 +59,14 @@ int main(int argc, char** argv) {
     for (const auto batch_size : batch_sizes) {
       const auto bs = static_cast<std::size_t>(batch_size);
       const std::size_t num_batches = bench::batches_for(bs, quick ? 200 : 2000);
-      auto rc = make_dist_engine("rc", model, ds.graph, ds.features,
-                                 partition_a);
+      auto rc = make_dist_engine(
+          "rc", model, ds.graph, ds.features, partition_a, nullptr,
+          bench::make_transport(transport_spec, parts_a));
       const auto rc_run =
           bench::run_dist_stream(*rc, prepared.stream, bs, num_batches);
-      auto rp = make_dist_engine("ripple", model, ds.graph, ds.features,
-                                 partition_a);
+      auto rp = make_dist_engine(
+          "ripple", model, ds.graph, ds.features, partition_a, nullptr,
+          bench::make_transport(transport_spec, parts_a));
       const auto rp_run =
           bench::run_dist_stream(*rp, prepared.stream, bs, num_batches);
       table.add_row(
@@ -85,8 +91,8 @@ int main(int argc, char** argv) {
   const auto model = GnnModel::random(config, seed);
   const std::size_t bs_scaling =
       static_cast<std::size_t>(batch_sizes.back());
-  std::printf("\n(b)+(c) strong scaling, GC-S-3L, batch size %zu\n",
-              bs_scaling);
+  std::printf("\n(b)+(c) strong scaling, GC-S-3L, batch size %zu (%s comm)\n",
+              bs_scaling, transport_spec.is_tcp() ? "measured" : "modeled");
   TextTable table({"Parts", "Edge cut", "RC up/s", "Ripple up/s",
                    "RC comp (s)", "RC comm (s)", "RP comp (s)", "RP comm (s)",
                    "RC bytes", "RP bytes", "Comm ratio"});
@@ -94,11 +100,16 @@ int main(int argc, char** argv) {
     const auto partition =
         bench::make_partition(ds.graph, static_cast<std::size_t>(parts));
     const std::size_t num_batches = quick ? 2 : 4;
-    auto rc = make_dist_engine("rc", model, ds.graph, ds.features, partition);
+    auto rc = make_dist_engine(
+        "rc", model, ds.graph, ds.features, partition, nullptr,
+        bench::make_transport(transport_spec,
+                              static_cast<std::size_t>(parts)));
     const auto rc_run =
         bench::run_dist_stream(*rc, prepared.stream, bs_scaling, num_batches);
-    auto rp = make_dist_engine("ripple", model, ds.graph, ds.features,
-                               partition);
+    auto rp = make_dist_engine(
+        "ripple", model, ds.graph, ds.features, partition, nullptr,
+        bench::make_transport(transport_spec,
+                              static_cast<std::size_t>(parts)));
     const auto rp_run =
         bench::run_dist_stream(*rp, prepared.stream, bs_scaling, num_batches);
     table.add_row(

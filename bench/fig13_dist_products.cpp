@@ -26,11 +26,13 @@ int main(int argc, char** argv) {
       flags.get_int_list("batch-sizes", quick
                                             ? std::vector<std::int64_t>{10, 100}
                                             : std::vector<std::int64_t>{10, 100, 1000});
-  const auto part_counts = flags.get_int_list(
+  auto part_counts = flags.get_int_list(
       "partitions", quick ? std::vector<std::int64_t>{2, 4}
                           : std::vector<std::int64_t>{2, 4, 8});
   set_log_level(log_level::warn);
   set_transport_options(TransportOptions::from_flags(flags));
+  const auto transport_spec = bench::TransportSpec::from_flags(flags);
+  bench::apply_tcp_run_policy(transport_spec, part_counts);
 
   bench::print_header(
       "Fig. 13: distributed GC-S-3L on Products analogue");
@@ -53,12 +55,14 @@ int main(int argc, char** argv) {
   for (const auto batch_size : batch_sizes) {
     const auto bs = static_cast<std::size_t>(batch_size);
     const std::size_t num_batches = bench::batches_for(bs, quick ? 150 : 1500);
-    auto rc =
-        make_dist_engine("rc", model, ds.graph, ds.features, partition_a);
+    auto rc = make_dist_engine(
+        "rc", model, ds.graph, ds.features, partition_a, nullptr,
+        bench::make_transport(transport_spec, parts_a));
     const auto rc_run =
         bench::run_dist_stream(*rc, prepared.stream, bs, num_batches);
-    auto rp =
-        make_dist_engine("ripple", model, ds.graph, ds.features, partition_a);
+    auto rp = make_dist_engine(
+        "ripple", model, ds.graph, ds.features, partition_a, nullptr,
+        bench::make_transport(transport_spec, parts_a));
     const auto rp_run =
         bench::run_dist_stream(*rp, prepared.stream, bs, num_batches);
     table_a.add_row({TextTable::fmt_int(batch_size),
@@ -71,19 +75,24 @@ int main(int argc, char** argv) {
 
   // ---- (b) compute/comm scaling at the largest batch size ----
   const auto bs_scaling = static_cast<std::size_t>(batch_sizes.back());
-  std::printf("\n(b) compute/comm split, batch size %zu\n", bs_scaling);
+  std::printf("\n(b) compute/comm split, batch size %zu (%s comm)\n",
+              bs_scaling, transport_spec.is_tcp() ? "measured" : "modeled");
   TextTable table_b({"Parts", "RC comp (s)", "RC comm (s)", "RP comp (s)",
                      "RP comm (s)", "RC total", "RP total"});
   for (const auto parts : part_counts) {
     const auto partition =
         bench::make_partition(ds.graph, static_cast<std::size_t>(parts));
     const std::size_t num_batches = quick ? 2 : 3;
-    auto rc =
-        make_dist_engine("rc", model, ds.graph, ds.features, partition);
+    auto rc = make_dist_engine(
+        "rc", model, ds.graph, ds.features, partition, nullptr,
+        bench::make_transport(transport_spec,
+                              static_cast<std::size_t>(parts)));
     const auto rc_run =
         bench::run_dist_stream(*rc, prepared.stream, bs_scaling, num_batches);
-    auto rp =
-        make_dist_engine("ripple", model, ds.graph, ds.features, partition);
+    auto rp = make_dist_engine(
+        "ripple", model, ds.graph, ds.features, partition, nullptr,
+        bench::make_transport(transport_spec,
+                              static_cast<std::size_t>(parts)));
     const auto rp_run =
         bench::run_dist_stream(*rp, prepared.stream, bs_scaling, num_batches);
     table_b.add_row({TextTable::fmt_int(parts),

@@ -9,6 +9,13 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build -L unit --output-on-failure -j "$(nproc)"
 # Remaining tiers (integration + dist) — each test runs exactly once.
 ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
+# Dist tier once more with the real TCP transport: RIPPLE_TRANSPORT=tcp
+# un-skips the multi-workload exactness pass over fork-based loopback
+# ranks (tests/dist/test_transport.cpp), so the socket path — framing,
+# barrier, measured timing — is exercised against the bit-exactness
+# contract on every CI run.
+RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
+  -j "$(nproc)"
 
 # ThreadSanitizer pass over the unit tier: the work-stealing scheduler's
 # Chase-Lev deque (common/scheduler.h) is lock-free, so races there would be
@@ -19,3 +26,15 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$(nproc)"
 ctest --test-dir build-tsan -L unit --output-on-failure -j "$(nproc)"
+
+# AddressSanitizer + UndefinedBehaviorSanitizer pass over the unit and
+# dist tiers (complements TSan, which cannot see heap overflows or UB):
+# the wire framing and the socket buffers are exactly the kind of
+# byte-twiddling code ASan catches regressions in, so the dist tier —
+# which carries the framing round-trips and the loopback socket path —
+# rides along.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$(nproc)"
+ctest --test-dir build-asan -L "unit|dist" --output-on-failure -j "$(nproc)"

@@ -1,11 +1,47 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace ripple {
+
+namespace {
+
+// strtoll/strtod accept garbage silently when called with a null endptr
+// ("abc" parses as 0, "10x" as 10). Every numeric flag goes through these
+// two, which reject empty input, trailing garbage, and out-of-range values
+// with a message naming the flag.
+std::int64_t parse_int_or_die(const std::string& name,
+                              const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  RIPPLE_CHECK_MSG(end != text.c_str() && *end == '\0',
+                   "--" << name << '=' << text << " is not an integer");
+  RIPPLE_CHECK_MSG(errno != ERANGE,
+                   "--" << name << '=' << text << " is out of range");
+  return value;
+}
+
+double parse_double_or_die(const std::string& name, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  RIPPLE_CHECK_MSG(end != text.c_str() && *end == '\0',
+                   "--" << name << '=' << text << " is not a number");
+  // strtod sets ERANGE on underflow too, while still returning a usable
+  // (sub)normal result — only overflow to ±HUGE_VAL is fatal.
+  RIPPLE_CHECK_MSG(errno != ERANGE ||
+                       (value != HUGE_VAL && value != -HUGE_VAL),
+                   "--" << name << '=' << text << " is out of range");
+  return value;
+}
+
+}  // namespace
 
 void Flags::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -44,13 +80,13 @@ std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int_or_die(name, it->second);
 }
 
 double Flags::get_double(const std::string& name, double default_value) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double_or_die(name, it->second);
 }
 
 bool Flags::get_bool(const std::string& name, bool default_value) const {
@@ -68,7 +104,7 @@ std::vector<std::int64_t> Flags::get_int_list(
   std::stringstream ss(it->second);
   std::string token;
   while (std::getline(ss, token, ',')) {
-    if (!token.empty()) out.push_back(std::strtoll(token.c_str(), nullptr, 10));
+    if (!token.empty()) out.push_back(parse_int_or_die(name, token));
   }
   RIPPLE_CHECK_MSG(!out.empty(), "empty int list for --" << name);
   return out;
@@ -82,7 +118,7 @@ std::vector<double> Flags::get_double_list(
   std::stringstream ss(it->second);
   std::string token;
   while (std::getline(ss, token, ',')) {
-    if (!token.empty()) out.push_back(std::strtod(token.c_str(), nullptr));
+    if (!token.empty()) out.push_back(parse_double_or_die(name, token));
   }
   RIPPLE_CHECK_MSG(!out.empty(), "empty double list for --" << name);
   return out;

@@ -1,5 +1,7 @@
 #include "core/serving.h"
 
+#include <chrono>
+
 #include "common/timer.h"
 
 namespace ripple {
@@ -17,12 +19,39 @@ StreamingServer::StreamingServer(std::unique_ptr<InferenceEngine> engine,
   }
 }
 
+double StreamingServer::now_sec() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool StreamingServer::age_flush_due() const {
+  // flush_after_sec <= 0 disables the trickle guard entirely (it must not
+  // degenerate into flush-on-every-submit).
+  if (pending_.empty() || options_.adaptive_options.flush_after_sec <= 0) {
+    return false;
+  }
+  const double age = now_sec() - first_pending_sec_;
+  // The batcher owns the deadline in adaptive mode; fixed mode applies the
+  // same trickle guard directly (its size threshold lives elsewhere).
+  if (options_.adaptive) {
+    return batcher_.should_flush(age, pending_.size());
+  }
+  return age >= options_.adaptive_options.flush_after_sec;
+}
+
 std::size_t StreamingServer::submit(GraphUpdate update) {
+  if (pending_.empty()) first_pending_sec_ = now_sec();
   pending_.push_back(std::move(update));
   const std::size_t threshold =
       options_.adaptive ? batcher_.next_batch_size() : options_.batch_size;
-  if (pending_.size() >= threshold) return flush();
+  if (pending_.size() >= threshold || age_flush_due()) return flush();
   return 0;
+}
+
+std::size_t StreamingServer::poll() {
+  return age_flush_due() ? flush() : 0;
 }
 
 std::size_t StreamingServer::flush() {

@@ -24,7 +24,15 @@ class StreamingServer {
   struct Options {
     std::size_t batch_size = 100;   // fixed batching (adaptive off)
     bool adaptive = false;          // use AdaptiveBatcher instead
+    // adaptive_options.flush_after_sec doubles as the trickle guard in
+    // BOTH modes: a partial batch older than this flushes on the next
+    // submit() or poll(), so a stream slower than the batch threshold
+    // cannot starve in pending_ forever. Set it <= 0 to disable the guard
+    // (pure size-based batching, the pre-fix behavior).
     AdaptiveBatcher::Options adaptive_options = {};
+    // Monotonic clock in seconds; tests inject a fake. Null uses
+    // std::chrono::steady_clock.
+    std::function<double()> clock;
   };
 
   // (vertex, old label, new label), fired after the causing batch applies.
@@ -37,9 +45,16 @@ class StreamingServer {
     callback_ = std::move(callback);
   }
 
-  // Enqueue one update; flushes automatically when the batch is full.
-  // Returns the number of updates applied (0 if still buffering).
+  // Enqueue one update; flushes automatically when the batch is full OR
+  // when the oldest pending update is past flush_after_sec. Returns the
+  // number of updates applied (0 if still buffering).
   std::size_t submit(GraphUpdate update);
+
+  // Idle-stream upkeep: flushes a partial batch whose oldest update is past
+  // flush_after_sec (drive it from a timer when the stream can go quiet —
+  // submit() alone can never clear the LAST trickle of a stream). Returns
+  // the number of updates applied.
+  std::size_t poll();
 
   // Apply whatever is pending immediately.
   std::size_t flush();
@@ -71,11 +86,14 @@ class StreamingServer {
 
  private:
   void refresh_labels_and_notify();
+  double now_sec() const;
+  bool age_flush_due() const;
 
   std::unique_ptr<InferenceEngine> engine_;
   Options options_;
   AdaptiveBatcher batcher_;
   std::vector<GraphUpdate> pending_;
+  double first_pending_sec_ = 0;  // now_sec() when pending_ became non-empty
   std::vector<std::uint32_t> labels_;
   LabelChangeCallback callback_;
   Stats stats_;

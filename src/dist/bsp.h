@@ -2,6 +2,16 @@
 // engines must model parallel machines the same way, or the RC-vs-Ripple
 // comparisons in the dist benches measure accounting skew instead of
 // protocol differences — so the conventions live here once.
+//
+// Two timing modes, selected by Transport::measures_time():
+//   * kModeled (SimTransport) — the phase cost is the MODELED parallel
+//     cluster time: the slowest partition's endpoint under the BSP max
+//     rule, with the whole cluster simulated inside one process.
+//   * kMeasured (TcpTransport) — the phase cost is this rank's MEASURED
+//     wall-clock seconds. Execution is identical (same dispatch, same
+//     bodies, bit-identical embeddings); only what the stopwatches report
+//     changes, so benches can put real seconds next to modeled ones
+//     (DistBatchResult::comm_measured tells them apart).
 #pragma once
 
 #include <algorithm>
@@ -16,12 +26,25 @@
 
 namespace ripple {
 
+enum class BspTiming {
+  kModeled,   // slowest-partition endpoint (simulated cluster)
+  kMeasured,  // this rank's wall clock (real transport)
+};
+
+inline BspTiming bsp_timing_of(const Transport& transport) {
+  return transport.measures_time() ? BspTiming::kMeasured
+                                   : BspTiming::kModeled;
+}
+
 // Runs body(p) for every partition — over the pool when available — and
-// returns the slowest partition's elapsed seconds: the modeled parallel
-// compute cost of the phase. body must only write partition-owned state.
+// returns the phase cost: the slowest partition's elapsed seconds
+// (kModeled) or the whole dispatch's wall clock (kMeasured). body must only
+// write partition-owned state.
 template <typename Body>
 double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
-                        const Body& body) {
+                        const Body& body,
+                        BspTiming timing = BspTiming::kModeled) {
+  const StopWatch phase_watch;
   std::vector<double> elapsed(num_parts, 0.0);
   const auto timed = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t p = lo; p < hi; ++p) {
@@ -35,6 +58,7 @@ double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
   } else {
     timed(0, num_parts);
   }
+  if (timing == BspTiming::kMeasured) return phase_watch.elapsed_sec();
   return *std::max_element(elapsed.begin(), elapsed.end());
 }
 
@@ -44,12 +68,14 @@ double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
 // scheduler at once — on a multi-core host a hot partition's shards really
 // do spread over idle workers — and each task's wall seconds are measured.
 //
-// Accounting: in the modeled cluster every partition is a machine with
-// W = scheduler width workers stealing across ITS OWN tasks, so partition
-// p's endpoint is the W-worker makespan lower bound over its measured task
-// times, max(Σ_s t_{p,s} / W, max_s t_{p,s}); the returned phase cost is
-// the slowest endpoint (BSP max rule). With W = 1 this reduces exactly to
-// timed_over_parts' serial-sum endpoint. See src/dist/README.md.
+// Modeled accounting: in the simulated cluster every partition is a machine
+// with W = scheduler width workers stealing across ITS OWN tasks, so
+// partition p's endpoint is the W-worker makespan lower bound over its
+// measured task times, max(Σ_s t_{p,s} / W, max_s t_{p,s}); the returned
+// phase cost is the slowest endpoint (BSP max rule). With W = 1 this
+// reduces exactly to timed_over_parts' serial-sum endpoint. Measured
+// accounting returns the region's wall clock instead — the real transport
+// runs real machines, so no modeling is needed. See src/dist/README.md.
 //
 // Constraint: body must NOT open a nested scheduler region. The stealing
 // runtime's help-first discipline would let the nesting task execute whole
@@ -64,7 +90,9 @@ template <typename Body>
 double timed_over_part_tasks(WorkStealingScheduler& scheduler,
                              std::size_t num_parts,
                              const std::vector<PartTask>& tasks,
-                             const Body& body) {
+                             const Body& body,
+                             BspTiming timing = BspTiming::kModeled) {
+  const StopWatch phase_watch;
   std::vector<std::size_t> costs(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) costs[i] = tasks[i].cost;
   std::vector<double> task_sec(tasks.size(), 0.0);
@@ -73,6 +101,7 @@ double timed_over_part_tasks(WorkStealingScheduler& scheduler,
     body(i);
     task_sec[i] = watch.elapsed_sec();  // single writer per index
   });
+  if (timing == BspTiming::kMeasured) return phase_watch.elapsed_sec();
   const double width = static_cast<double>(scheduler.width());
   std::vector<double> sum(num_parts, 0.0);
   std::vector<double> longest(num_parts, 0.0);
@@ -87,10 +116,20 @@ double timed_over_part_tasks(WorkStealingScheduler& scheduler,
   return slowest;
 }
 
+// Serial mini-phase helper: the engines time a per-partition serial loop
+// (sender sorts, exchange destination scans) partition-by-partition and
+// bill the max endpoint when modeling, or the loop's real wall clock when
+// measuring. `per_part` receives each partition's measured seconds.
+inline double serial_phase_cost(const std::vector<double>& per_part,
+                                double wall_sec, BspTiming timing) {
+  if (timing == BspTiming::kMeasured) return wall_sec;
+  return *std::max_element(per_part.begin(), per_part.end());
+}
+
 // Ingress routing: the leader (partition 0) ships the batch to every other
 // replica, one combined message per partition. With one partition nothing
 // touches the wire.
-inline void route_batch(SimTransport& transport, UpdateBatch batch) {
+inline void route_batch(Transport& transport, UpdateBatch batch) {
   if (transport.num_parts() <= 1 || batch.empty()) return;
   std::size_t batch_bytes = 0;
   for (const GraphUpdate& update : batch) batch_bytes += update.wire_bytes();

@@ -11,14 +11,31 @@ std::unique_ptr<DistEngineBase> make_dist_engine(
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool,
     const TransportOptions& options, SchedulerMode scheduler) {
+  return make_dist_engine(
+      key, model, snapshot, features, partition, pool,
+      std::make_unique<SimTransport>(partition.num_parts(), options),
+      scheduler);
+}
+
+std::unique_ptr<DistEngineBase> make_dist_engine(
+    const std::string& key, const GnnModel& model,
+    const DynamicGraph& snapshot, const Matrix& features,
+    const Partition& partition, ThreadPool* pool,
+    std::unique_ptr<Transport> transport, SchedulerMode scheduler) {
+  RIPPLE_CHECK(transport != nullptr);
+  RIPPLE_CHECK_MSG(transport->num_parts() == partition.num_parts(),
+                   "transport spans " << transport->num_parts()
+                                      << " parts but the partition has "
+                                      << partition.num_parts());
   if (key == "ripple") {
     return std::make_unique<DistRippleEngine>(model, snapshot, features,
-                                              partition, pool, options,
-                                              scheduler);
+                                              partition, pool,
+                                              std::move(transport), scheduler);
   }
   if (key == "rc") {
     return std::make_unique<DistRecomputeEngine>(model, snapshot, features,
-                                                 partition, pool, options,
+                                                 partition, pool,
+                                                 std::move(transport),
                                                  scheduler);
   }
   throw check_error("unknown dist engine '" + key + "' (ripple|rc)");

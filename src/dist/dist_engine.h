@@ -29,9 +29,11 @@ namespace ripple {
 class ThreadPool;
 
 // Per-batch outcome of a distributed engine: the compute/comm split and the
-// wire counters behind Figs. 12–13. compute_sec models P machines running
-// in parallel (sum over supersteps of the slowest partition); comm_sec is
-// the transport cost model's total for the batch.
+// wire counters behind Figs. 12–13. On the simulated transport,
+// compute_sec models P machines running in parallel (sum over supersteps
+// of the slowest partition) and comm_sec is the cost model's total for the
+// batch; on a real transport (comm_measured == true) both are this rank's
+// measured wall-clock seconds instead.
 struct DistBatchResult {
   std::size_t batch_size = 0;
   std::size_t num_parts = 0;
@@ -39,6 +41,9 @@ struct DistBatchResult {
   std::size_t affected_final = 0;         // |affected set| at hop L
   double compute_sec = 0;
   double comm_sec = 0;
+  // True when the transport measures real seconds (Transport::
+  // measures_time()): benches must not average modeled and measured runs.
+  bool comm_measured = false;
   std::size_t wire_bytes = 0;     // payload + headers, all supersteps
   std::size_t wire_messages = 0;  // messages across all supersteps
   // Work-stealing scheduler stats of the apply phases (all-zero on the
@@ -76,12 +81,23 @@ class DistEngineBase {
 // selects the apply-phase runtime: kSteal spreads a hot partition's
 // sub-tasks (mailbox shards / recompute blocks) over idle workers; kStatic
 // keeps the per-partition parallel_for chunking. Embeddings are
-// bit-identical either way.
+// bit-identical either way. This overload runs over a SimTransport built
+// from `options`.
 std::unique_ptr<DistEngineBase> make_dist_engine(
     const std::string& key, const GnnModel& model,
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool = nullptr,
     const TransportOptions& options = default_transport_options(),
+    SchedulerMode scheduler = SchedulerMode::kSteal);
+
+// Backend-explicit overload: the caller supplies the transport (e.g. a
+// TcpTransport wired to its rank's peers). transport->num_parts() must
+// equal partition.num_parts(); the engine takes ownership.
+std::unique_ptr<DistEngineBase> make_dist_engine(
+    const std::string& key, const GnnModel& model,
+    const DynamicGraph& snapshot, const Matrix& features,
+    const Partition& partition, ThreadPool* pool,
+    std::unique_ptr<Transport> transport,
     SchedulerMode scheduler = SchedulerMode::kSteal);
 
 }  // namespace ripple

@@ -15,12 +15,12 @@ DistRecomputeEngine::DistRecomputeEngine(const GnnModel& model,
                                          DynamicGraph snapshot,
                                          const Matrix& features,
                                          Partition partition, ThreadPool* pool,
-                                         const TransportOptions& options,
+                                         std::unique_ptr<Transport> transport,
                                          SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
       store_(model.config(), graph_.num_vertices()),
-      transport_(partition_.num_parts(), options), pool_(pool) {
+      transport_(std::move(transport)), pool_(pool) {
   if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
     stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
   }
@@ -41,18 +41,22 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   DistBatchResult result;
   result.batch_size = batch.size();
   result.num_parts = partition_.num_parts();
-  const std::size_t wire_bytes_before = transport_.wire_bytes();
-  const std::size_t wire_messages_before = transport_.wire_messages();
+  const std::size_t wire_bytes_before = transport_->wire_bytes();
+  const std::size_t wire_messages_before = transport_->wire_messages();
   const std::size_t num_parts = partition_.num_parts();
+  // Modeled timing bills the slowest simulated partition; a measuring
+  // transport (tcp) switches every phase to this rank's real wall clock.
+  const BspTiming timing = bsp_timing_of(*transport_);
+  result.comm_measured = transport_->measures_time();
   if (stealer_ != nullptr) stealer_->reset_stats();
 
   // ---- superstep U: ingress routing + replica update application ----
-  transport_.begin_superstep();
-  route_batch(transport_, batch);
+  transport_->begin_superstep();
+  route_batch(*transport_, batch);
   StopWatch update_watch;
   apply_updates_to_graph(graph_, store_.features(), batch);
   result.compute_sec += update_watch.elapsed_sec();
-  result.comm_sec += transport_.end_superstep();
+  result.comm_sec += transport_->end_superstep();
 
   // ---- hops: halo pull + owned recompute, one superstep per layer ----
   const bool uses_self = model_.layer(0).uses_self();
@@ -66,7 +70,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
 
     // Halo pulls: every remote in-neighbor of an owned affected vertex is
     // fetched once per requesting partition this hop.
-    transport_.begin_superstep();
+    transport_->begin_superstep();
     ++fetch_epoch_;
     for (const VertexId v : affected[l]) {
       const std::uint32_t p = owner(v);
@@ -75,10 +79,10 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
         const std::uint32_t pu = owner(nb.vertex);
         if (pu == p || stamp[nb.vertex] == fetch_epoch_) continue;
         stamp[nb.vertex] = fetch_epoch_;
-        transport_.send_opaque(pu, p, row_bytes);
+        transport_->send_opaque(pu, p, row_bytes);
       }
     }
-    result.comm_sec += transport_.end_superstep();
+    result.comm_sec += transport_->end_superstep();
 
     // Owned recompute: identical per-row work to single-machine RC; rows
     // are independent, so neither the partition split nor the scheduler
@@ -119,30 +123,34 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
         block_scratch_.resize(blocks.size());
       }
       result.compute_sec += timed_over_part_tasks(
-          *stealer_, num_parts, tasks, [&](std::size_t i) {
+          *stealer_, num_parts, tasks,
+          [&](std::size_t i) {
             const Block& block = blocks[i];
             std::vector<float>& x_scratch = block_scratch_[i];
             x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
             for (std::size_t j = block.lo; j < block.hi; ++j) {
               recompute_row(owned[block.part][j], x_scratch);
             }
-          });
+          },
+          timing);
     } else {
-      result.compute_sec +=
-          timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+      result.compute_sec += timed_over_parts(
+          pool_, num_parts,
+          [&](std::size_t p) {
             auto& x_scratch = x_scratch_[p];
             x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
             for (const VertexId v : affected[l]) {
               if (owner(v) != p) continue;
               recompute_row(v, x_scratch);
             }
-          });
+          },
+          timing);
     }
   }
   result.propagation_tree_size = propagation_tree_size(affected);
   result.affected_final = affected.back().size();
-  result.wire_bytes = transport_.wire_bytes() - wire_bytes_before;
-  result.wire_messages = transport_.wire_messages() - wire_messages_before;
+  result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
+  result.wire_messages = transport_->wire_messages() - wire_messages_before;
   if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }

@@ -23,7 +23,7 @@ class DistRecomputeEngine : public DistEngineBase {
  public:
   DistRecomputeEngine(const GnnModel& model, DynamicGraph snapshot,
                       const Matrix& features, Partition partition,
-                      ThreadPool* pool, const TransportOptions& options,
+                      ThreadPool* pool, std::unique_ptr<Transport> transport,
                       SchedulerMode scheduler = SchedulerMode::kSteal);
 
   const char* name() const override { return "dist-RC"; }
@@ -41,7 +41,7 @@ class DistRecomputeEngine : public DistEngineBase {
   DynamicGraph graph_;  // replicated topology (one shared copy in-process)
   Partition partition_;
   EmbeddingStore store_;  // union of owned rows; single writer = owner
-  SimTransport transport_;
+  std::unique_ptr<Transport> transport_;  // engine code sees only the iface
   ThreadPool* pool_;
   // Work-stealing runtime for the recompute phase (null = static
   // per-partition chunks): a hot partition's owned affected vertices run

@@ -20,12 +20,12 @@ DistRippleEngine::DistRippleEngine(const GnnModel& model,
                                    DynamicGraph snapshot,
                                    const Matrix& features, Partition partition,
                                    ThreadPool* pool,
-                                   const TransportOptions& options,
+                                   std::unique_ptr<Transport> transport,
                                    SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
       store_(model.config(), graph_.num_vertices()),
-      transport_(partition_.num_parts(), options), pool_(pool) {
+      transport_(std::move(transport)), pool_(pool) {
   if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
     stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
   }
@@ -83,7 +83,7 @@ void DistRippleEngine::seed_edge_messages(VertexId u, VertexId v,
       for (std::size_t l = 0; l < model_.num_layers(); ++l) {
         bytes += model_.config().embedding_dim(l) * sizeof(float);
       }
-      transport_.send_opaque(pu, pv, bytes);
+      transport_->send_opaque(pu, pv, bytes);
     }
   }
   const float alpha = edge_alpha(weight);
@@ -105,7 +105,7 @@ void DistRippleEngine::apply_feature_update(const GraphUpdate& update) {
   // One combined (x_new, x_old) message per remote partition owning at
   // least one out-neighbor; local sinks are seeded for free.
   for_each_remote_owner(u, pu, [&](std::size_t p) {
-    transport_.send_opaque(pu, p,
+    transport_->send_opaque(pu, p,
                            2 * update.new_features.size() * sizeof(float));
   });
   const auto old_row = store_.features().row(u);
@@ -121,7 +121,7 @@ void DistRippleEngine::apply_feature_update(const GraphUpdate& update) {
 }
 
 double DistRippleEngine::update_phase(UpdateBatch batch) {
-  route_batch(transport_, batch);
+  route_batch(*transport_, batch);
   // Every replica applies the batch to its topology copy concurrently; the
   // serial wall time below is one replica's worth of work, i.e. the modeled
   // parallel cost. The shared update operator preserves batch order, so
@@ -141,16 +141,20 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
   DistBatchResult result;
   result.batch_size = batch.size();
   result.num_parts = partition_.num_parts();
-  const std::size_t wire_bytes_before = transport_.wire_bytes();
-  const std::size_t wire_messages_before = transport_.wire_messages();
+  const std::size_t wire_bytes_before = transport_->wire_bytes();
+  const std::size_t wire_messages_before = transport_->wire_messages();
   const std::size_t num_parts = partition_.num_parts();
   const std::size_t num_layers = model_.num_layers();
+  // Modeled timing bills the slowest simulated partition; a measuring
+  // transport (tcp) switches every phase to this rank's real wall clock.
+  const BspTiming timing = bsp_timing_of(*transport_);
+  result.comm_measured = transport_->measures_time();
   if (stealer_ != nullptr) stealer_->reset_stats();
 
   // ---- superstep U: routing + halo fetches + hop-0 seeding ----
-  transport_.begin_superstep();
+  transport_->begin_superstep();
   result.compute_sec += update_phase(batch);
-  result.comm_sec += transport_.end_superstep();
+  result.comm_sec += transport_->end_superstep();
 
   // ---- hops 1..L: apply / exchange / seed supersteps ----
   for (std::size_t l = 1; l <= num_layers; ++l) {
@@ -188,6 +192,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
     if (stealer_ != nullptr) {
       // Per-partition prologue (sender sort + delta sizing): its own
       // max-endpoint mini-phase, every machine sorting its own senders.
+      const StopWatch prologue_watch;
       std::vector<double> prologue_sec(num_parts, 0.0);
       for (std::size_t p = 0; p < num_parts; ++p) {
         StopWatch watch;
@@ -197,8 +202,8 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
         if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
         prologue_sec[p] = watch.elapsed_sec();
       }
-      result.compute_sec +=
-          *std::max_element(prologue_sec.begin(), prologue_sec.end());
+      result.compute_sec += serial_phase_cost(
+          prologue_sec, prologue_watch.elapsed_sec(), timing);
       // One stealable task per (partition, shard), LPT-seeded by pending
       // slots; a partition's endpoint is the W-worker makespan bound over
       // its shard drains (dist/bsp.h), so a hot partition stops gating the
@@ -212,12 +217,15 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
         }
       }
       result.compute_sec += timed_over_part_tasks(
-          *stealer_, num_parts, tasks, [&](std::size_t i) {
+          *stealer_, num_parts, tasks,
+          [&](std::size_t i) {
             drain_shard(tasks[i].part, i % kShardsPerPart);
-          });
+          },
+          timing);
     } else {
-      result.compute_sec +=
-          timed_over_parts(pool_, num_parts, [&](std::size_t p) {
+      result.compute_sec += timed_over_parts(
+          pool_, num_parts,
+          [&](std::size_t p) {
             Mailbox& box = mailbox(p, l);
             // The last hop emits no messages: skip sender sort and deltas.
             senders_[p] =
@@ -226,7 +234,8 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
             for (std::size_t s = 0; s < box.num_shards(); ++s) {
               drain_shard(p, s);
             }
-          });
+          },
+          timing);
     }
 
     if (!is_last) {
@@ -235,7 +244,8 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       // is billed as compute; the inbox copies and the bytes themselves are
       // the transport's job (the cost model already charges the transfer —
       // timing the send too would double-count it).
-      transport_.begin_superstep();
+      transport_->begin_superstep();
+      const StopWatch scan_watch;
       std::vector<double> scan_sec(num_parts, 0.0);
       std::vector<std::pair<std::uint32_t, std::uint32_t>> sends;
       for (std::size_t p = 0; p < num_parts; ++p) {
@@ -251,26 +261,26 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
         }
         scan_sec[p] = watch.elapsed_sec();
         for (const auto& [r, q] : sends) {
-          transport_.send(p, q, senders_[p][r], delta_[p].row(r));
+          transport_->send(p, q, senders_[p][r], delta_[p].row(r));
         }
       }
       result.compute_sec +=
-          *std::max_element(scan_sec.begin(), scan_sec.end());
-      result.comm_sec += transport_.end_superstep();
+          serial_phase_cost(scan_sec, scan_watch.elapsed_sec(), timing);
+      result.comm_sec += transport_->end_superstep();
 
       // Seed: each partition merges local deltas and inbox payloads in
       // ascending global sender id order, then re-expands them over its
       // locally-owned out-edges — reproducing the exact single-machine
       // accumulation order per cell.
       const bool uses_self = model_.layer(l).uses_self();
-      result.compute_sec += timed_over_parts(pool_, num_parts, [&](std::size_t q) {
+      const auto seed_part = [&](std::size_t q) {
         std::vector<MergeEntry>& merged = merge_[q];
         merged.clear();
         for (std::size_t r = 0; r < senders_[q].size(); ++r) {
           merged.push_back({senders_[q][r], delta_[q].row(r).data()});
         }
-        const SimTransport::Inbox& inbox = transport_.inbox(q);
-        for (const SimTransport::Message& m : inbox.messages) {
+        const Transport::Inbox& inbox = transport_->inbox(q);
+        for (const Transport::Message& m : inbox.messages) {
           merged.push_back({m.sender, inbox.payload_of(m).data()});
         }
         std::sort(merged.begin(), merged.end(),
@@ -288,13 +298,15 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
             next.mark_self_changed(entry.sender);
           }
         }
-      });
+      };
+      result.compute_sec +=
+          timed_over_parts(pool_, num_parts, seed_part, timing);
     }
     for (std::size_t p = 0; p < num_parts; ++p) mailbox(p, l).clear();
   }
 
-  result.wire_bytes = transport_.wire_bytes() - wire_bytes_before;
-  result.wire_messages = transport_.wire_messages() - wire_messages_before;
+  result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
+  result.wire_messages = transport_->wire_messages() - wire_messages_before;
   if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }

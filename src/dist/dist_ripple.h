@@ -45,7 +45,7 @@ class DistRippleEngine : public DistEngineBase {
  public:
   DistRippleEngine(const GnnModel& model, DynamicGraph snapshot,
                    const Matrix& features, Partition partition,
-                   ThreadPool* pool, const TransportOptions& options,
+                   ThreadPool* pool, std::unique_ptr<Transport> transport,
                    SchedulerMode scheduler = SchedulerMode::kSteal);
 
   const char* name() const override { return "dist-Ripple"; }
@@ -96,7 +96,7 @@ class DistRippleEngine : public DistEngineBase {
   EmbeddingStore store_;  // union of owned rows; single writer = owner
   std::vector<Matrix> agg_cache_;
   std::vector<Mailbox> mailboxes_;  // [part * L + (l-1)]
-  SimTransport transport_;
+  std::unique_ptr<Transport> transport_;  // engine code sees only the iface
   ThreadPool* pool_;
   // Work-stealing runtime for the apply phase (null = static per-partition
   // chunks): a hot partition's mailbox-shard drains spread over idle

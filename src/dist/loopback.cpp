@@ -1,0 +1,171 @@
+#include "dist/loopback.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace ripple {
+
+namespace {
+
+// Writes/reads exactly len bytes over a pipe end.
+bool pipe_write(int fd, const void* buf, std::size_t len) {
+  const auto* at = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, at, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    at += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool pipe_read(int fd, void* buf, std::size_t len) {
+  auto* at = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, at, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    at += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int bind_loopback_listener(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RIPPLE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned free port
+  RIPPLE_CHECK_MSG(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0 &&
+                       ::listen(fd, SOMAXCONN) == 0,
+                   "bind loopback listener: " << std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  RIPPLE_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+               0);
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+// Child-side result protocol over the pipe: u8 status (0 = ok), u64 size,
+// then the blob (ok) or the error message (failure).
+void child_report(int fd, std::uint8_t status,
+                  const std::uint8_t* data, std::size_t size) {
+  pipe_write(fd, &status, 1);
+  const std::uint64_t size64 = size;
+  pipe_write(fd, &size64, sizeof(size64));
+  pipe_write(fd, data, size);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
+    std::size_t num_ranks,
+    const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body) {
+  RIPPLE_CHECK(num_ranks >= 1);
+  std::vector<int> listen_fds(num_ranks);
+  std::vector<std::string> peers(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    std::uint16_t port = 0;
+    listen_fds[r] = bind_loopback_listener(port);
+    peers[r] = "127.0.0.1:" + std::to_string(port);
+  }
+
+  std::vector<pid_t> pids(num_ranks, -1);
+  std::vector<int> result_fds(num_ranks, -1);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    int fds[2];
+    RIPPLE_CHECK_MSG(::pipe(fds) == 0, "pipe: " << std::strerror(errno));
+    const pid_t pid = ::fork();
+    RIPPLE_CHECK_MSG(pid >= 0, "fork: " << std::strerror(errno));
+    if (pid == 0) {
+      // Child: keep only this rank's listener and pipe write end.
+      ::close(fds[0]);
+      for (std::size_t q = 0; q < num_ranks; ++q) {
+        if (q != r) ::close(listen_fds[q]);
+      }
+      for (const int result_fd : result_fds) {
+        if (result_fd >= 0) ::close(result_fd);
+      }
+      std::uint8_t status = 0;
+      std::vector<std::uint8_t> blob;
+      std::string error;
+      try {
+        TcpConfig config;
+        config.rank = r;
+        config.peers = peers;
+        config.listen_fd = listen_fds[r];
+        blob = body(config);
+      } catch (const std::exception& e) {
+        status = 1;
+        error = e.what();
+      } catch (...) {
+        status = 1;
+        error = "unknown exception";
+      }
+      if (status == 0) {
+        child_report(fds[1], 0, blob.data(), blob.size());
+      } else {
+        child_report(fds[1], 1,
+                     reinterpret_cast<const std::uint8_t*>(error.data()),
+                     error.size());
+      }
+      ::close(fds[1]);
+      ::_exit(status);
+    }
+    ::close(fds[1]);
+    pids[r] = pid;
+    result_fds[r] = fds[0];
+  }
+  for (const int fd : listen_fds) ::close(fd);
+
+  // Collect results, then reap. Reading before waiting avoids a pipe-full
+  // deadlock when a child's blob exceeds the pipe buffer.
+  std::vector<std::vector<std::uint8_t>> results(num_ranks);
+  std::vector<std::string> errors(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    std::uint8_t status = 2;
+    std::uint64_t size = 0;
+    if (pipe_read(result_fds[r], &status, 1) &&
+        pipe_read(result_fds[r], &size, sizeof(size))) {
+      std::vector<std::uint8_t> blob(size);
+      if (pipe_read(result_fds[r], blob.data(), size) || size == 0) {
+        if (status == 0) {
+          results[r] = std::move(blob);
+        } else {
+          errors[r].assign(blob.begin(), blob.end());
+        }
+      } else {
+        errors[r] = "truncated result pipe";
+      }
+    } else {
+      errors[r] = "rank died before reporting";
+    }
+    ::close(result_fds[r]);
+  }
+  std::string failure;
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    int wstatus = 0;
+    ::waitpid(pids[r], &wstatus, 0);
+    const bool clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+    if (!clean || !errors[r].empty()) {
+      failure += "rank " + std::to_string(r) + ": " +
+                 (errors[r].empty() ? "abnormal exit" : errors[r]) + "\n";
+    }
+  }
+  RIPPLE_CHECK_MSG(failure.empty(), "loopback ranks failed:\n" << failure);
+  return results;
+}
+
+}  // namespace ripple

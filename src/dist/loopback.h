@@ -1,0 +1,32 @@
+// Fork-based loopback harness for TcpTransport: runs one process per rank
+// on 127.0.0.1 with ephemeral ports, so tests and demos can exercise the
+// real socket path without free-port races or hand-launched processes.
+//
+// The parent binds every rank's listening socket FIRST (port 0 → the
+// kernel assigns a free port), reads the ports back, and only then forks —
+// each child adopts its own pre-bound listener via TcpConfig::listen_fd, so
+// no child can lose a bind race or dial an endpoint that is not yet
+// listening. Children run `body(config)`, report a byte blob through a
+// pipe, and _exit without touching the parent's atexit/gtest machinery; the
+// parent collects the blobs in rank order and surfaces any child failure as
+// a check_error carrying the child's message.
+//
+// Fork safety: call only from a single-threaded parent (no live ThreadPool
+// across the fork — create pools inside `body`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dist/tcp_transport.h"
+
+namespace ripple {
+
+// Runs body(config) in one forked child per rank over a pre-bound loopback
+// mesh; returns each child's result blob, indexed by rank.
+std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
+    std::size_t num_ranks,
+    const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body);
+
+}  // namespace ripple

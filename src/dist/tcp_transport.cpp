@@ -1,0 +1,413 @@
+#include "dist/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/timer.h"
+
+namespace ripple {
+
+namespace {
+
+// Opportunistic-flush threshold: send() tries a non-blocking flush once the
+// queued bytes pass this, bounding user-space buffering without ever
+// blocking the engine's serial exchange phase.
+constexpr std::size_t kFlushThreshold = 1 << 18;
+
+struct HostPort {
+  std::string host;
+  std::string port;
+};
+
+HostPort split_endpoint(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  RIPPLE_CHECK_MSG(colon != std::string::npos && colon + 1 < endpoint.size(),
+                   "peer endpoint '" << endpoint << "' is not host:port");
+  return {endpoint.substr(0, colon), endpoint.substr(colon + 1)};
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  RIPPLE_CHECK_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl(O_NONBLOCK): " << std::strerror(errno));
+}
+
+// Blocking exact-size read/write used only during mesh setup (handshakes).
+void read_exact(int fd, void* buf, std::size_t len) {
+  auto* at = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, at, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    RIPPLE_CHECK_MSG(n > 0, "peer hung up during handshake");
+    at += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* at = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, at, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    RIPPLE_CHECK_MSG(n > 0, "handshake write failed: "
+                                << std::strerror(errno));
+    at += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+int bind_listener(const std::string& endpoint) {
+  const HostPort hp = split_endpoint(endpoint);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(hp.host.c_str(), hp.port.c_str(), &hints, &res);
+  RIPPLE_CHECK_MSG(rc == 0, "resolve '" << endpoint
+                                        << "': " << ::gai_strerror(rc));
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  RIPPLE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const bool ok = ::bind(fd, res->ai_addr, res->ai_addrlen) == 0 &&
+                  ::listen(fd, SOMAXCONN) == 0;
+  const int saved_errno = errno;
+  ::freeaddrinfo(res);
+  if (!ok) ::close(fd);
+  RIPPLE_CHECK_MSG(ok, "bind/listen '" << endpoint
+                                       << "': " << std::strerror(saved_errno));
+  return fd;
+}
+
+int connect_with_retry(const std::string& endpoint, double timeout_sec) {
+  const HostPort hp = split_endpoint(endpoint);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(hp.host.c_str(), hp.port.c_str(), &hints, &res);
+  RIPPLE_CHECK_MSG(rc == 0, "resolve '" << endpoint
+                                        << "': " << ::gai_strerror(rc));
+  const StopWatch watch;
+  int last_errno = 0;
+  while (watch.elapsed_sec() < timeout_sec) {
+    const int fd =
+        ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    RIPPLE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+    // The peer's listener may simply not be up yet (ranks launched by hand
+    // in any order): back off briefly and redial.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::freeaddrinfo(res);
+  RIPPLE_CHECK_MSG(false, "connect '" << endpoint << "' timed out after "
+                                      << timeout_sec << "s: "
+                                      << std::strerror(last_errno));
+  return -1;  // unreachable
+}
+
+}  // namespace
+
+TcpConfig TcpConfig::from_flags(const Flags& flags) {
+  TcpConfig config;
+  config.rank = static_cast<std::size_t>(flags.get_int("rank", 0));
+  std::stringstream ss(flags.get_string("peers", ""));
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) config.peers.push_back(token);
+  }
+  RIPPLE_CHECK_MSG(!config.peers.empty(),
+                   "--transport=tcp requires --peers=host:port,...");
+  RIPPLE_CHECK_MSG(config.rank < config.peers.size(),
+                   "--rank=" << config.rank << " out of range for "
+                             << config.peers.size() << " peers");
+  return config;
+}
+
+TcpTransport::TcpTransport(std::size_t num_parts,
+                           const TransportOptions& options,
+                           const TcpConfig& config)
+    : Transport(num_parts, options), rank_(config.rank),
+      barrier_timeout_sec_(config.barrier_timeout_sec) {
+  RIPPLE_CHECK_MSG(config.peers.size() == num_parts,
+                   "tcp transport needs one peer endpoint per partition: got "
+                       << config.peers.size() << " peers for " << num_parts
+                       << " parts");
+  RIPPLE_CHECK(rank_ < num_parts);
+  peers_.resize(num_parts);
+  staged_by_src_.resize(num_parts);
+  setup_mesh(config);
+}
+
+void TcpTransport::setup_mesh(const TcpConfig& config) {
+  if (num_parts() == 1) {
+    if (config.listen_fd >= 0) ::close(config.listen_fd);
+    return;
+  }
+  // Listener first, so any peer's dial-in lands in our backlog even before
+  // we reach the accept loop.
+  const int listen_fd = config.listen_fd >= 0
+                            ? config.listen_fd
+                            : bind_listener(config.peers[rank_]);
+  // Each pair (i, j), i < j has one connection: j dials i. Dial every lower
+  // rank (they are already listening), then accept every higher rank; a
+  // 4-byte rank handshake tells the acceptor who arrived.
+  for (std::size_t j = 0; j < rank_; ++j) {
+    const int fd = connect_with_retry(config.peers[j],
+                                      config.connect_timeout_sec);
+    const auto my_rank = static_cast<std::uint32_t>(rank_);
+    write_exact(fd, &my_rank, sizeof(my_rank));
+    set_nodelay(fd);
+    peers_[j].fd = fd;
+  }
+  for (std::size_t pending = num_parts() - 1 - rank_; pending > 0;
+       --pending) {
+    // Bounded accept: a higher rank that died before dialing must surface
+    // as an error here, not hang this rank (and a fork harness's parent)
+    // forever.
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(config.connect_timeout_sec * 1e3));
+    RIPPLE_CHECK_MSG(ready > 0, "accept at rank "
+                                    << rank_ << " timed out waiting for "
+                                    << pending << " higher rank(s)");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    RIPPLE_CHECK_MSG(fd >= 0, "accept: " << std::strerror(errno));
+    // Bound the handshake read the same way (a dialer could connect and
+    // then die before sending its rank).
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(config.connect_timeout_sec);
+    timeout.tv_usec = static_cast<suseconds_t>(
+        (config.connect_timeout_sec - static_cast<double>(timeout.tv_sec)) *
+        1e6);
+    if (timeout.tv_sec == 0 && timeout.tv_usec == 0) timeout.tv_usec = 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    std::uint32_t peer_rank = 0;
+    read_exact(fd, &peer_rank, sizeof(peer_rank));
+    RIPPLE_CHECK_MSG(peer_rank > rank_ && peer_rank < num_parts() &&
+                         peers_[peer_rank].fd < 0,
+                     "unexpected handshake from rank " << peer_rank);
+    set_nodelay(fd);
+    peers_[peer_rank].fd = fd;
+  }
+  ::close(listen_fd);  // the mesh is complete; free the port
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    if (p != rank_) set_nonblocking(peers_[p].fd);
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (Peer& peer : peers_) {
+    if (peer.fd >= 0) ::close(peer.fd);
+  }
+}
+
+void TcpTransport::begin_superstep() {
+  for (Inbox& inbox : inboxes_) inbox.clear();
+  // Frames a fast peer shipped before we finished the previous barrier
+  // belong to this superstep; surface them in per-peer arrival order.
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    Peer& peer = peers_[p];
+    for (wire::Frame& frame : peer.ahead) {
+      staged_by_src_[p].push_back(std::move(frame));
+    }
+    peer.ahead.clear();
+  }
+}
+
+void TcpTransport::send(std::size_t src, std::size_t dst, VertexId sender,
+                        std::span<const float> payload) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  count_wire(payload.size() * sizeof(float), 1);
+  if (dst != rank_) {
+    // Feeds the replicated execution of a partition this rank does not own.
+    inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), payload);
+  }
+  if (src == rank_) {
+    Peer& peer = peers_[dst];
+    wire::append_payload_frame(peer.sendbuf, sender,
+                               static_cast<std::uint32_t>(src), payload);
+    if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+  }
+  // dst == rank_ && src != rank_: nothing locally — the authoritative copy
+  // arrives over the wire during end_superstep().
+}
+
+void TcpTransport::send_opaque(std::size_t src, std::size_t dst,
+                               std::size_t payload_bytes,
+                               std::size_t num_messages) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  count_wire(payload_bytes, num_messages);
+  if (src == rank_) {
+    Peer& peer = peers_[dst];
+    wire::append_opaque_frame(peer.sendbuf, static_cast<std::uint32_t>(src),
+                              static_cast<std::uint32_t>(dst), payload_bytes,
+                              num_messages);
+    if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+  }
+}
+
+bool TcpTransport::flush_some(Peer& peer) {
+  while (peer.sent < peer.sendbuf.size()) {
+    const ssize_t n =
+        ::send(peer.fd, peer.sendbuf.data() + peer.sent,
+               peer.sendbuf.size() - peer.sent, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      peer.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    RIPPLE_CHECK_MSG(false, "tcp send failed: " << std::strerror(errno));
+  }
+  peer.sendbuf.clear();
+  peer.sent = 0;
+  return true;
+}
+
+void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
+  Peer& peer = peers_[peer_rank];
+  switch (frame.type) {
+    case wire::FrameType::payload: {
+      RIPPLE_CHECK_MSG(frame.src_part == peer_rank,
+                       "payload frame src_part " << frame.src_part
+                                                 << " from rank "
+                                                 << peer_rank);
+      // Per-connection TCP ordering: frames decoded after the barrier for
+      // the in-flight superstep belong to the next one.
+      if (peer.barriers_seen > completed_) {
+        peer.ahead.push_back(std::move(frame));
+      } else {
+        staged_by_src_[peer_rank].push_back(std::move(frame));
+      }
+      break;
+    }
+    case wire::FrameType::opaque:
+      // Accounting record: every rank already counted this transfer when
+      // the replicated protocol issued it, so the receiver only drains it
+      // (it keeps the byte stream's barrier ordering honest).
+      break;
+    case wire::FrameType::barrier:
+      RIPPLE_CHECK_MSG(frame.superstep == peer.barriers_seen,
+                       "barrier for superstep " << frame.superstep
+                                                << " from rank " << peer_rank
+                                                << ", expected "
+                                                << peer.barriers_seen);
+      ++peer.barriers_seen;
+      break;
+  }
+}
+
+void TcpTransport::drain_ready(Peer& peer) {
+  const std::size_t peer_rank = static_cast<std::size_t>(&peer - peers_.data());
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(peer.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      peer.decoder.feed(
+          std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
+      wire::Frame frame;
+      while (peer.decoder.next(frame)) dispatch(peer_rank, std::move(frame));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n == 0) {
+      // A peer that finished its run exits and closes cleanly; that is
+      // only an error if it still owes us a barrier (checked at the poll
+      // loop, where the current superstep index is known).
+      peer.eof = true;
+      return;
+    }
+    RIPPLE_CHECK_MSG(false, "tcp recv failed: " << std::strerror(errno));
+  }
+}
+
+double TcpTransport::end_superstep() {
+  const StopWatch watch;
+  const std::uint64_t superstep = completed_;
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    if (p == rank_) continue;
+    wire::append_barrier_frame(peers_[p].sendbuf,
+                               static_cast<std::uint32_t>(rank_), superstep);
+  }
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_rank;
+  for (;;) {
+    fds.clear();
+    fd_rank.clear();
+    bool done = true;
+    for (std::size_t p = 0; p < num_parts(); ++p) {
+      if (p == rank_) continue;
+      Peer& peer = peers_[p];
+      const bool writes_pending =
+          peer.sent < peer.sendbuf.size() && !flush_some(peer);
+      const bool barrier_pending = peer.barriers_seen <= superstep;
+      if (!writes_pending && !barrier_pending) continue;
+      RIPPLE_CHECK_MSG(!(barrier_pending && peer.eof),
+                       "rank " << p << " closed its connection before its "
+                               << "barrier for superstep " << superstep);
+      done = false;
+      pollfd pfd{};
+      pfd.fd = peer.fd;
+      pfd.events = static_cast<short>((barrier_pending ? POLLIN : 0) |
+                                      (writes_pending ? POLLOUT : 0));
+      fds.push_back(pfd);
+      fd_rank.push_back(p);
+    }
+    if (done) break;
+    RIPPLE_CHECK_MSG(watch.elapsed_sec() < barrier_timeout_sec_,
+                     "tcp barrier for superstep " << superstep
+                                                  << " timed out at rank "
+                                                  << rank_);
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0 && errno == EINTR) continue;
+    RIPPLE_CHECK_MSG(ready >= 0, "poll: " << std::strerror(errno));
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      Peer& peer = peers_[fd_rank[i]];
+      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) drain_ready(peer);
+      if (fds[i].revents & POLLOUT) flush_some(peer);
+    }
+  }
+  // Canonical delivery: ascending sending rank, per-rank arrival order —
+  // exactly SimTransport's global send order, so the engines' merges see
+  // identical sequences on both backends.
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    for (const wire::Frame& frame : staged_by_src_[p]) {
+      inboxes_[rank_].append(frame.sender, frame.src_part, frame.row);
+    }
+    staged_by_src_[p].clear();
+  }
+  ++completed_;
+  return watch.elapsed_sec();
+}
+
+}  // namespace ripple

@@ -1,0 +1,117 @@
+// Real networked Transport backend: one OS process per rank, rank r owning
+// partition r, full mesh of TCP connections, length-prefixed frames
+// (wire_format.h), and a barrier per superstep.
+//
+// Execution model — replicated compute, authoritative message path. The
+// dist engines keep the repo's replicated-topology design: every rank runs
+// the full engine loop over all partitions, which is what lets the engine
+// code depend only on the Transport interface. The transport makes rank r's
+// OWN partition's traffic real:
+//
+//   send(src, dst, ...) at rank r:
+//     * always counted (same header_bytes envelope as SimTransport, so the
+//       wire counters are backend-independent);
+//     * appended to the local inbox of dst when dst != r — this feeds the
+//       replicated execution of the partitions rank r does not own;
+//     * framed and transmitted over the socket to rank dst when src == r —
+//       exactly one rank transmits each message;
+//     * NOT delivered locally when dst == r: rank r's own inbox is filled
+//       exclusively from the wire, so the floats that produce rank r's
+//       owned embedding rows really did round-trip through serialization
+//       and the network. A framing bug breaks bit-exactness and is caught
+//       by the conformance suite.
+//
+// Barrier protocol: end_superstep() queues a barrier frame to every peer,
+// then polls non-blocking sockets — flushing pending writes and draining
+// reads — until every peer's barrier for this superstep arrived and all
+// writes completed. Per-connection TCP ordering plus ascending-src_part
+// canonicalization of the received messages reproduces SimTransport's
+// deterministic inbox order, which the engines' ascending-sender merges
+// rely on. A peer may run at most one superstep ahead (its next barrier
+// needs ours), so early frames are stashed and surfaced at the next
+// begin_superstep().
+//
+// end_superstep() returns MEASURED wall-clock seconds (measures_time() ==
+// true): engines switch DistBatchResult to measured timing alongside it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/transport.h"
+#include "dist/wire_format.h"
+
+namespace ripple {
+
+struct TcpConfig {
+  std::size_t rank = 0;
+  // host:port endpoint per rank (index == rank); size() is the world size
+  // and must equal the transport's num_parts.
+  std::vector<std::string> peers;
+  // Pre-bound listening socket to adopt for this rank (fork harnesses bind
+  // ephemeral ports before forking so children cannot race); -1 binds
+  // peers[rank] instead. The transport owns and closes the fd either way.
+  int listen_fd = -1;
+  double connect_timeout_sec = 15.0;  // retry window for peer dial-in
+  double barrier_timeout_sec = 120.0;
+
+  // Parses --rank=R and --peers=host:port,host:port,... (R < len(peers)).
+  static TcpConfig from_flags(const Flags& flags);
+};
+
+class TcpTransport final : public Transport {
+ public:
+  // Establishes the full mesh: connects to every lower rank, accepts every
+  // higher rank (so each pair has exactly one connection), then switches
+  // all sockets to non-blocking.
+  TcpTransport(std::size_t num_parts, const TransportOptions& options,
+               const TcpConfig& config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  std::size_t rank() const { return rank_; }
+
+  void begin_superstep() override;
+  void send(std::size_t src, std::size_t dst, VertexId sender,
+            std::span<const float> payload) override;
+  void send_opaque(std::size_t src, std::size_t dst,
+                   std::size_t payload_bytes,
+                   std::size_t num_messages = 1) override;
+  double end_superstep() override;
+  bool measures_time() const override { return true; }
+
+ protected:
+  const char* name_impl() const override { return "tcp"; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<std::uint8_t> sendbuf;  // framed, unflushed suffix from sent_
+    std::size_t sent = 0;               // flushed prefix of sendbuf
+    wire::FrameDecoder decoder;
+    std::uint64_t barriers_seen = 0;  // frames decoded after the barrier for
+                                      // superstep s belong to superstep s+1
+    std::vector<wire::Frame> ahead;   // stash for the next superstep
+    bool eof = false;  // peer closed; fatal only if it still owes a barrier
+  };
+
+  void setup_mesh(const TcpConfig& config);
+  bool flush_some(Peer& peer);   // true when sendbuf fully flushed
+  void drain_ready(Peer& peer);  // non-blocking read + frame dispatch
+  void dispatch(std::size_t peer_rank, wire::Frame&& frame);
+
+  std::size_t rank_ = 0;
+  double barrier_timeout_sec_ = 120.0;
+  std::vector<Peer> peers_;  // index == rank; peers_[rank_].fd == -1
+  std::uint64_t completed_ = 0;  // end_superstep() calls so far == index of
+                                 // the superstep currently in flight
+  // Received payload frames of the CURRENT superstep, grouped by sending
+  // rank; flushed into inbox(rank_) in ascending src_part order at the end
+  // of the barrier (matches SimTransport's global send order).
+  std::vector<std::vector<wire::Frame>> staged_by_src_;
+};
+
+}  // namespace ripple

@@ -26,21 +26,22 @@ const TransportOptions& default_transport_options() {
   return g_default_options;
 }
 
-SimTransport::SimTransport(std::size_t num_parts,
-                           const TransportOptions& options)
-    : options_(options) {
+Transport::Transport(std::size_t num_parts, const TransportOptions& options)
+    : options_(options), num_parts_(num_parts) {
   RIPPLE_CHECK(num_parts >= 1);
   RIPPLE_CHECK(options_.bytes_per_sec > 0);
   inboxes_.resize(num_parts);
+}
+
+SimTransport::SimTransport(std::size_t num_parts,
+                           const TransportOptions& options)
+    : Transport(num_parts, options) {
   egress_sec_.assign(num_parts, 0.0);
   ingress_sec_.assign(num_parts, 0.0);
 }
 
 void SimTransport::begin_superstep() {
-  for (Inbox& inbox : inboxes_) {
-    inbox.messages.clear();
-    inbox.payload.clear();
-  }
+  for (Inbox& inbox : inboxes_) inbox.clear();
   std::fill(egress_sec_.begin(), egress_sec_.end(), 0.0);
   std::fill(ingress_sec_.begin(), ingress_sec_.end(), 0.0);
 }
@@ -55,17 +56,13 @@ void SimTransport::account(std::size_t src, std::size_t dst,
       static_cast<double>(total_bytes) / options_.bytes_per_sec;
   egress_sec_[src] += sec;
   ingress_sec_[dst] += sec;
-  wire_bytes_ += total_bytes;
-  wire_messages_ += num_messages;
+  count_wire(payload_bytes, num_messages);
 }
 
 void SimTransport::send(std::size_t src, std::size_t dst, VertexId sender,
                         std::span<const float> payload) {
   RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
-  Inbox& inbox = inboxes_[dst];
-  inbox.messages.push_back({sender, static_cast<std::uint32_t>(src),
-                            inbox.payload.size(), payload.size()});
-  inbox.payload.insert(inbox.payload.end(), payload.begin(), payload.end());
+  inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), payload);
   account(src, dst, payload.size() * sizeof(float), 1);
 }
 
@@ -76,9 +73,9 @@ void SimTransport::send_opaque(std::size_t src, std::size_t dst,
   account(src, dst, payload_bytes, num_messages);
 }
 
-double SimTransport::end_superstep() const {
+double SimTransport::end_superstep() {
   double worst = 0.0;
-  for (std::size_t p = 0; p < inboxes_.size(); ++p) {
+  for (std::size_t p = 0; p < num_parts(); ++p) {
     worst = std::max(worst, egress_sec_[p] + ingress_sec_[p]);
   }
   return worst;

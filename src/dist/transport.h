@@ -1,20 +1,34 @@
-// Simulated message-passing transport for the distributed runtime (§5).
+// Message-passing transports for the distributed runtime (§5).
 //
-// The whole cluster runs inside one process, so "sending" is an append into
-// the destination partition's inbox plus cost-model accounting. Two kinds of
-// traffic exist:
+// The engines speak BSP supersteps against the abstract `Transport`
+// interface — begin_superstep / send / send_opaque / end_superstep / inbox —
+// and never against a concrete backend, so the message-exchange layer can be
+// swapped without touching the algorithms (the same property InfiniBand-era
+// BSP engines like libgrape-lite rely on). Two kinds of traffic exist:
 //   * payload messages — a sender vertex's embedding-delta row shipped to
 //     the partition owning its remote out-neighbors; the floats genuinely
-//     travel through the inbox and the receiver reads them back out, so the
-//     exactness tests exercise the real wire path;
+//     travel through the transport and the receiver reads them back out, so
+//     the exactness tests exercise the real wire path;
 //   * opaque transfers — update routing and halo row fetches, where only the
 //     byte/message counts matter (the receiver reads the shared replica).
 //
+// Backends:
+//   * SimTransport — the whole cluster in one process: "sending" is an
+//     append into the destination partition's inbox plus cost-model
+//     accounting. end_superstep() returns MODELED seconds
+//     (measures_time() == false).
+//   * TcpTransport (tcp_transport.h) — one process per rank; payload rows
+//     and accounting records travel over real sockets and end_superstep()
+//     returns MEASURED wall-clock seconds (measures_time() == true).
+//
 // Cost model (flag-configurable, see TransportOptions::from_flags): each
 // message costs per_message_sec + (header_bytes + payload)/bytes_per_sec.
-// A superstep is charged max over partitions of (egress + ingress) — the
-// partitions are modeled as machines sending and receiving in parallel, so
-// the slowest endpoint gates the barrier, BSP style.
+// A SimTransport superstep is charged max over partitions of
+// (egress + ingress) — the partitions are modeled as machines sending and
+// receiving in parallel, so the slowest endpoint gates the barrier, BSP
+// style. Wire COUNTERS (bytes/messages) use the same header_bytes envelope
+// on every backend, so sim and tcp report identical traffic for the same
+// protocol run — the conformance suite asserts exactly that.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +55,7 @@ struct TransportOptions {
 void set_transport_options(const TransportOptions& options);
 const TransportOptions& default_transport_options();
 
-class SimTransport {
+class Transport {
  public:
   struct Message {
     VertexId sender = kInvalidVertex;
@@ -56,47 +70,99 @@ class SimTransport {
     std::span<const float> payload_of(const Message& m) const {
       return std::span<const float>(payload.data() + m.offset, m.len);
     }
+    void clear() {
+      messages.clear();
+      payload.clear();
+    }
+    void append(VertexId sender, std::uint32_t src_part,
+                std::span<const float> row) {
+      messages.push_back({sender, src_part, payload.size(), row.size()});
+      payload.insert(payload.end(), row.begin(), row.end());
+    }
   };
 
-  SimTransport(std::size_t num_parts, const TransportOptions& options);
+  Transport(std::size_t num_parts, const TransportOptions& options);
+  virtual ~Transport() = default;
 
-  std::size_t num_parts() const { return inboxes_.size(); }
+  const char* name() const { return name_impl(); }
+  std::size_t num_parts() const { return num_parts_; }
   const TransportOptions& options() const { return options_; }
 
-  // Clears every inbox and the per-partition cost accumulators.
-  void begin_superstep();
+  // Clears every inbox and any per-superstep state.
+  virtual void begin_superstep() = 0;
 
-  // Payload send: delivered into dst's inbox. Not thread-safe — the engines
-  // run their exchange phases serially (the copies are simulation overhead,
-  // not modeled machine work). src == dst is a protocol error: local
-  // traffic never touches the wire.
-  void send(std::size_t src, std::size_t dst, VertexId sender,
-            std::span<const float> payload);
+  // Payload send: delivered into dst's inbox (or onto the wire). Not
+  // thread-safe — the engines run their exchange phases serially.
+  // src == dst is a protocol error: local traffic never touches the wire.
+  virtual void send(std::size_t src, std::size_t dst, VertexId sender,
+                    std::span<const float> payload) = 0;
 
   // Accounting-only transfer (update routing, halo row fetches).
-  void send_opaque(std::size_t src, std::size_t dst,
-                   std::size_t payload_bytes, std::size_t num_messages = 1);
+  virtual void send_opaque(std::size_t src, std::size_t dst,
+                           std::size_t payload_bytes,
+                           std::size_t num_messages = 1) = 0;
 
-  // Modeled seconds for the superstep: max over partitions of
-  // (egress + ingress) cost.
-  double end_superstep() const;
+  // Completes the superstep barrier and returns its cost in seconds:
+  // modeled (cost model) or measured (wall clock), per measures_time().
+  virtual double end_superstep() = 0;
+
+  // Whether end_superstep() returns measured wall-clock seconds (a real
+  // networked backend) rather than modeled cost-model seconds. Engines
+  // propagate this into DistBatchResult::comm_measured and switch their
+  // compute accounting to wall clock alongside it (dist/bsp.h).
+  virtual bool measures_time() const = 0;
 
   const Inbox& inbox(std::size_t part) const { return inboxes_[part]; }
 
-  // Cumulative totals across all supersteps.
+  // Cumulative totals across all supersteps. Every backend counts every
+  // send/send_opaque it observes with the same header_bytes envelope, so
+  // the counters are backend-independent for a given protocol run.
   std::size_t wire_bytes() const { return wire_bytes_; }
   std::size_t wire_messages() const { return wire_messages_; }
+
+ protected:
+  virtual const char* name_impl() const = 0;
+
+  // Adds one transfer to the cumulative wire counters.
+  void count_wire(std::size_t payload_bytes, std::size_t num_messages) {
+    wire_bytes_ += payload_bytes + num_messages * options_.header_bytes;
+    wire_messages_ += num_messages;
+  }
+
+  TransportOptions options_;
+  std::size_t num_parts_ = 0;
+  std::vector<Inbox> inboxes_;
+
+ private:
+  std::size_t wire_bytes_ = 0;
+  std::size_t wire_messages_ = 0;
+};
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(std::size_t num_parts, const TransportOptions& options);
+
+  void begin_superstep() override;
+  void send(std::size_t src, std::size_t dst, VertexId sender,
+            std::span<const float> payload) override;
+  void send_opaque(std::size_t src, std::size_t dst,
+                   std::size_t payload_bytes,
+                   std::size_t num_messages = 1) override;
+
+  // Modeled seconds for the superstep: max over partitions of
+  // (egress + ingress) cost.
+  double end_superstep() override;
+  bool measures_time() const override { return false; }
+
+ protected:
+  const char* name_impl() const override { return "sim"; }
 
  private:
   void account(std::size_t src, std::size_t dst, std::size_t payload_bytes,
                std::size_t num_messages);
 
-  TransportOptions options_;
-  std::vector<Inbox> inboxes_;
   std::vector<double> egress_sec_;   // per-partition, this superstep
   std::vector<double> ingress_sec_;  // per-partition, this superstep
-  std::size_t wire_bytes_ = 0;
-  std::size_t wire_messages_ = 0;
 };
 
 }  // namespace ripple

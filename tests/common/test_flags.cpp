@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
+
 namespace ripple {
 namespace {
 
@@ -72,6 +74,87 @@ TEST(Flags, DoubleParsing) {
 TEST(Flags, BoolExplicitFalse) {
   const auto flags = make_flags({"--verbose=false"});
   EXPECT_FALSE(flags.get_bool("verbose", true));
+}
+
+// ---- malformed numeric values must die naming the flag, not parse as 0 ----
+
+TEST(Flags, MalformedIntThrows) {
+  const auto flags = make_flags({"--shards=abc"});
+  EXPECT_THROW(flags.get_int("shards", 1), check_error);
+}
+
+TEST(Flags, TrailingGarbageIntThrows) {
+  const auto flags = make_flags({"--shards=12x"});
+  EXPECT_THROW(flags.get_int("shards", 1), check_error);
+}
+
+TEST(Flags, EmptyIntValueThrows) {
+  const auto flags = make_flags({"--shards="});
+  EXPECT_THROW(flags.get_int("shards", 1), check_error);
+}
+
+TEST(Flags, OutOfRangeIntThrows) {
+  const auto flags = make_flags({"--shards=99999999999999999999999"});
+  EXPECT_THROW(flags.get_int("shards", 1), check_error);
+}
+
+TEST(Flags, NegativeIntStillParses) {
+  const auto flags = make_flags({"--offset=-17"});
+  EXPECT_EQ(flags.get_int("offset", 0), -17);
+}
+
+TEST(Flags, MalformedDoubleThrows) {
+  const auto flags = make_flags({"--wire-gbps=fast"});
+  EXPECT_THROW(flags.get_double("wire-gbps", 10.0), check_error);
+}
+
+TEST(Flags, TrailingGarbageDoubleThrows) {
+  const auto flags = make_flags({"--wire-gbps=10x"});
+  EXPECT_THROW(flags.get_double("wire-gbps", 10.0), check_error);
+}
+
+TEST(Flags, OutOfRangeDoubleThrows) {
+  const auto flags = make_flags({"--scale=1e99999"});
+  EXPECT_THROW(flags.get_double("scale", 1.0), check_error);
+}
+
+TEST(Flags, ScientificNotationDoubleStillParses) {
+  const auto flags = make_flags({"--scale=2.5e-3"});
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 2.5e-3);
+}
+
+TEST(Flags, SubnormalDoubleStillParses) {
+  // strtod reports ERANGE on underflow while returning a usable denormal;
+  // only overflow is an error.
+  const auto flags = make_flags({"--scale=1e-310"});
+  EXPECT_GT(flags.get_double("scale", 1.0), 0.0);
+  EXPECT_LT(flags.get_double("scale", 1.0), 1e-300);
+}
+
+TEST(Flags, IntListRejectsBadToken) {
+  const auto flags = make_flags({"--sizes=1,two,3"});
+  EXPECT_THROW(flags.get_int_list("sizes", {}), check_error);
+}
+
+TEST(Flags, IntListRejectsTrailingGarbageToken) {
+  const auto flags = make_flags({"--sizes=1,2,3x"});
+  EXPECT_THROW(flags.get_int_list("sizes", {}), check_error);
+}
+
+TEST(Flags, DoubleListRejectsBadToken) {
+  const auto flags = make_flags({"--rmat-a=0.45,oops"});
+  EXPECT_THROW(flags.get_double_list("rmat-a", {}), check_error);
+}
+
+TEST(Flags, ErrorMessageNamesTheFlag) {
+  const auto flags = make_flags({"--shards=abc"});
+  try {
+    flags.get_int("shards", 1);
+    FAIL() << "expected check_error";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--shards=abc"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

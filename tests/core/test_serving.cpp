@@ -114,6 +114,105 @@ TEST(StreamingServer, AdaptiveModeAppliesEverything) {
   EXPECT_GT(server.stats().batches_processed, 0u);
 }
 
+// ---- trickle-starvation regression: flush_after_sec must be honored ----
+// (It used to be dead in the serving path: a stream slower than the batch
+// threshold sat in pending_ forever.)
+
+StreamingServer make_clocked_server(StreamingServer::Options options) {
+  auto graph = testing::random_graph(40, 250, 91);
+  const auto features = testing::random_features(40, 6, 92);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2, 8);
+  const auto model = GnnModel::random(config, 93);
+  return StreamingServer(make_engine("ripple", model, graph, features),
+                         options);
+}
+
+TEST(StreamingServer, AdaptiveTrickleFlushesByAgeOnSubmit) {
+  double fake_now = 100.0;
+  StreamingServer::Options options;
+  options.adaptive = true;
+  options.adaptive_options.min_batch = 10;  // size threshold never reached
+  options.adaptive_options.flush_after_sec = 0.25;
+  options.clock = [&] { return fake_now; };
+  auto server = make_clocked_server(options);
+
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(0, 5)), 0u);
+  fake_now += 0.10;
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 6)), 0u);
+  fake_now += 0.20;  // oldest pending is now 0.30s old > 0.25s deadline
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(2, 7)), 3u);
+  EXPECT_EQ(server.stats().batches_processed, 1u);
+  // The age window restarts with the next pending update.
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(3, 8)), 0u);
+}
+
+TEST(StreamingServer, PollFlushesIdleAdaptiveStream) {
+  double fake_now = 5.0;
+  StreamingServer::Options options;
+  options.adaptive = true;
+  options.adaptive_options.min_batch = 10;
+  options.adaptive_options.flush_after_sec = 0.25;
+  options.clock = [&] { return fake_now; };
+  auto server = make_clocked_server(options);
+
+  server.submit(GraphUpdate::edge_add(0, 5));
+  server.submit(GraphUpdate::edge_add(1, 6));
+  EXPECT_EQ(server.poll(), 0u);  // too young
+  fake_now += 0.24;
+  EXPECT_EQ(server.poll(), 0u);  // still inside the deadline
+  fake_now += 0.02;
+  EXPECT_EQ(server.poll(), 2u);  // past it: the trickle applies
+  EXPECT_EQ(server.poll(), 0u);  // nothing pending
+  EXPECT_EQ(server.stats().updates_processed, 2u);
+}
+
+TEST(StreamingServer, PollFlushesIdleFixedStreamToo) {
+  double fake_now = 1.0;
+  StreamingServer::Options options;
+  options.batch_size = 100;  // trickle far below the fixed threshold
+  options.adaptive_options.flush_after_sec = 0.5;
+  options.clock = [&] { return fake_now; };
+  auto server = make_clocked_server(options);
+
+  server.submit(GraphUpdate::edge_add(0, 5));
+  EXPECT_EQ(server.poll(), 0u);
+  fake_now += 0.51;
+  EXPECT_EQ(server.poll(), 1u);
+  EXPECT_EQ(server.stats().batches_processed, 1u);
+}
+
+TEST(StreamingServer, ZeroFlushAfterDisablesTheTrickleGuard) {
+  double fake_now = 0.0;
+  StreamingServer::Options options;
+  options.batch_size = 3;
+  options.adaptive_options.flush_after_sec = 0;  // pure size-based batching
+  options.clock = [&] { return fake_now; };
+  auto server = make_clocked_server(options);
+
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(0, 5)), 0u);
+  fake_now += 1e6;  // arbitrarily old pending must NOT flush
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 6)), 0u);
+  EXPECT_EQ(server.poll(), 0u);
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(2, 7)), 3u);  // size only
+}
+
+TEST(StreamingServer, AgeWindowStartsAtFirstPendingNotLastSubmit) {
+  double fake_now = 0.0;
+  StreamingServer::Options options;
+  options.batch_size = 100;
+  options.adaptive_options.flush_after_sec = 0.25;
+  options.clock = [&] { return fake_now; };
+  auto server = make_clocked_server(options);
+
+  server.submit(GraphUpdate::edge_add(0, 5));
+  // Keep trickling just inside the deadline: the window is anchored at the
+  // FIRST pending update, so the third submit must flush everything.
+  fake_now += 0.15;
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 6)), 0u);
+  fake_now += 0.15;
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(2, 7)), 3u);
+}
+
 TEST(StreamingServer, WorksWithRecomputeEngineToo) {
   auto graph = testing::random_graph(20, 100, 102);
   const auto features = testing::random_features(20, 4, 103);
