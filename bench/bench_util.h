@@ -4,6 +4,7 @@
 //   --scale=<0..1>    multiplies the machine-sized dataset defaults
 //   --quick           tiny configuration for smoke runs / CI
 //   --seed=<n>        dataset + stream seed
+//   --kernels=auto|scalar   SIMD kernel dispatch override
 // and prints aligned tables with the same metrics the paper plots.
 #pragma once
 
@@ -20,6 +21,7 @@
 #include "graph/datasets.h"
 #include "infer/engine.h"
 #include "stream/generator.h"
+#include "tensor/kernels.h"
 
 namespace ripple::bench {
 

@@ -38,3 +38,28 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan -L "unit|dist" --output-on-failure -j "$(nproc)"
+
+# Forced-scalar kernel pass over the unit tier: -DRIPPLE_KERNELS=scalar
+# compiles the dispatch to always select the portable tier, so the scalar
+# kernels (the bit-exactness reference every SIMD tier is tested against)
+# stay exercised end-to-end on every host — including SIMD hosts where the
+# default build would only ever run them inside test_tensor_kernels.
+cmake -B build-scalar -S . -DRIPPLE_KERNELS=scalar \
+  -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
+cmake --build build-scalar -j "$(nproc)"
+ctest --test-dir build-scalar -L unit --output-on-failure -j "$(nproc)"
+
+# Optional -march=native stage (gated on compiler+host support): the widest
+# vector ISA the host has, with auto-vectorization and FMA contraction on
+# for all NON-kernel TUs. The kernel TUs keep -ffp-contract=off (see
+# CMakeLists.txt), so the scalar-vs-SIMD bit-exactness suites must still
+# pass — this is the stage that would catch a contraction leak into the
+# kernel tiers.
+if "${CXX:-g++}" -march=native -x c++ -E /dev/null >/dev/null 2>&1; then
+  cmake -B build-native -S . -DCMAKE_CXX_FLAGS="-march=native" \
+    -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
+  cmake --build build-native -j "$(nproc)"
+  ctest --test-dir build-native -L unit --output-on-failure -j "$(nproc)"
+else
+  echo "ci.sh: -march=native unsupported on this host; skipping native stage"
+fi

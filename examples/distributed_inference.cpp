@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "tensor/kernels.h"
 #include "common/log.h"
 #include "graph/datasets.h"
 #include "stream/generator.h"
@@ -40,6 +41,7 @@ int main() {
 #else
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  apply_kernel_flag(flags);
   const std::string transport_kind =
       flags.get_choice("transport", {"sim", "tcp"}, "sim");
   const bool use_tcp = transport_kind == "tcp";

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/flags.h"
+#include "tensor/kernels.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "core/ripple_engine.h"
@@ -20,6 +21,7 @@ using namespace ripple;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  apply_kernel_flag(flags);
   const auto accounts =
       static_cast<std::size_t>(flags.get_int("accounts", 4000));
   const auto updates = static_cast<std::size_t>(flags.get_int("updates", 2000));

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "tensor/kernels.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "core/ripple_engine.h"
@@ -47,6 +48,7 @@ DynamicGraph road_network(std::size_t junctions, Rng& rng) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  apply_kernel_flag(flags);
   const auto junctions =
       static_cast<std::size_t>(flags.get_int("junctions", 2500));
   const auto ticks = static_cast<std::size_t>(flags.get_int("ticks", 50));

@@ -103,8 +103,9 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
 
   // Fold Δagg into the cache and gather the shard's Update inputs into a
   // dense block (slot order: ascending vertex id → reproducible floats).
-  scratch.x.resize(rows, in_dim);
-  if (gather_self) scratch.h_self.resize(rows, in_dim);
+  // no_fill: every row is fully overwritten by the gather below.
+  scratch.x.resize_no_fill(rows, in_dim);
+  if (gather_self) scratch.h_self.resize_no_fill(rows, in_dim);
   for (std::size_t i = 0; i < rows; ++i) {
     const std::uint32_t slot = scratch.slots[i];
     const VertexId v = shard.vertices[slot];

@@ -215,7 +215,10 @@ BatchResult RippleEngine::propagate() {
     const std::vector<VertexId> order =
         is_last ? std::vector<VertexId>{} : mailbox.sorted_vertices();
     if (!is_last) {
-      delta_block_.resize(order.size(), model_.config().layer_out_dim(l - 1));
+      // no_fill: the apply phase's RankDeltaSink writes every row (each
+      // mailbox vertex drains exactly once) before the scatter reads any.
+      delta_block_.resize_no_fill(order.size(),
+                                  model_.config().layer_out_dim(l - 1));
       send_flags_.assign(order.size(), 1);
     }
 

@@ -199,7 +199,11 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
         Mailbox& box = mailbox(p, l);
         senders_[p] =
             is_last ? std::vector<VertexId>{} : box.sorted_vertices();
-        if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
+        if (!is_last) {
+          // no_fill: the shard drains' RankDeltaSink writes every row
+          // before the exchange reads any.
+          delta_[p].resize_no_fill(senders_[p].size(), delta_dim);
+        }
         prologue_sec[p] = watch.elapsed_sec();
       }
       result.compute_sec += serial_phase_cost(
@@ -230,7 +234,11 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
             // The last hop emits no messages: skip sender sort and deltas.
             senders_[p] =
                 is_last ? std::vector<VertexId>{} : box.sorted_vertices();
-            if (!is_last) delta_[p].resize(senders_[p].size(), delta_dim);
+            if (!is_last) {
+              // no_fill: the shard drains' RankDeltaSink writes every row
+              // before the exchange reads any.
+              delta_[p].resize_no_fill(senders_[p].size(), delta_dim);
+            }
             for (std::size_t s = 0; s < box.num_shards(); ++s) {
               drain_shard(p, s);
             }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace ripple {
 
@@ -53,16 +54,19 @@ void aggregate_neighbors(AggregatorKind kind,
     }
     return;
   }
+  // Linear aggregators: one vectorized axpy per in-neighbor (the kernel
+  // tiers keep each output element's accumulation order, so the result is
+  // dispatch-independent).
   std::fill(out.begin(), out.end(), 0.0f);
+  const KernelOps& ops = kernels();
   for (const Neighbor& nb : in_nbrs) {
     const float alpha = edge_coefficient(kind, nb);
     const float* row = h_prev.data() + static_cast<std::size_t>(nb.vertex) *
                                            h_prev.cols();
-    for (std::size_t j = 0; j < d; ++j) out[j] += alpha * row[j];
+    ops.vec_axpy(out.data(), alpha, row, d);
   }
   if (kind == AggregatorKind::mean && !in_nbrs.empty()) {
-    const float inv = 1.0f / static_cast<float>(in_nbrs.size());
-    for (auto& v : out) v *= inv;
+    ops.vec_scale(out.data(), 1.0f / static_cast<float>(in_nbrs.size()), d);
   }
 }
 

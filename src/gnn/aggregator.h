@@ -40,9 +40,8 @@ template <typename GraphT>
 void aggregate_all(AggregatorKind kind, const GraphT& graph,
                    const Matrix& h_prev, Matrix& x_agg) {
   const std::size_t n = graph.num_vertices();
-  if (x_agg.rows() != n || x_agg.cols() != h_prev.cols()) {
-    x_agg.resize(n, h_prev.cols());
-  }
+  // no_fill: aggregate_neighbors overwrites every row below.
+  x_agg.resize_no_fill(n, h_prev.cols());
   for (VertexId v = 0; v < n; ++v) {
     aggregate_neighbors(kind, graph.in_neighbors(v), h_prev, x_agg.row(v));
   }

@@ -21,7 +21,23 @@ const char* layer_kind_name(LayerKind kind) {
 GnnLayer::GnnLayer(LayerKind kind, Params params, std::size_t in_dim,
                    std::size_t out_dim)
     : kind_(kind), params_(std::move(params)), in_dim_(in_dim),
-      out_dim_(out_dim) {}
+      out_dim_(out_dim) {
+  repack();
+}
+
+void GnnLayer::repack() {
+  packed_.clear();
+  if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
+    packed_.push_back(PackedMatrix::pack(gc->weight));
+  } else if (const auto* sage = std::get_if<SageParams>(&params_)) {
+    packed_.push_back(PackedMatrix::pack(sage->w_self));
+    packed_.push_back(PackedMatrix::pack(sage->w_neigh));
+  } else {
+    const auto& gin = std::get<GinParams>(params_);
+    packed_.push_back(PackedMatrix::pack(gin.w1));
+    packed_.push_back(PackedMatrix::pack(gin.w2));
+  }
+}
 
 GnnLayer GnnLayer::random(LayerKind kind, std::size_t in_dim,
                           std::size_t out_dim, Rng& rng,
@@ -52,20 +68,52 @@ GnnLayer GnnLayer::random(LayerKind kind, std::size_t in_dim,
   throw check_error("unreachable layer kind");
 }
 
+namespace {
+
+// The packed-fallback policy lives in exactly two helpers: multiply by
+// weight index `wi`, preferring the layer's packed panels (`packed` is
+// null when the cache is stale). Bit-identical either way.
+void weight_gemv(std::span<const float> x, const Matrix& w,
+                 const std::vector<PackedMatrix>* packed, std::size_t wi,
+                 std::span<float> out) {
+  if (packed != nullptr) {
+    gemv_row_accum(x, (*packed)[wi], out);
+  } else {
+    gemv_row_accum(x, w, out);
+  }
+}
+
+template <typename Par>
+void weight_gemm(const Matrix& a, const Matrix& w,
+                 const std::vector<PackedMatrix>* packed, std::size_t wi,
+                 Matrix& c, Par* par) {
+  if (packed != nullptr) {
+    gemm(a, (*packed)[wi], c, par);
+  } else {
+    gemm(a, w, c, par);
+  }
+}
+
+}  // namespace
+
 void GnnLayer::update_row(std::span<const float> h_self,
                           std::span<const float> x_agg,
                           std::span<float> out) const {
   RIPPLE_CHECK(x_agg.size() == in_dim_ && out.size() == out_dim_);
+  // Packed fast path: weights are immutable across the stream, so the
+  // panels packed at model load serve every per-vertex Update. The unpacked
+  // fallback (stale cache after mutable_params()) is bit-identical.
+  const auto* packed = has_packed_weights() ? &packed_ : nullptr;
   if (const auto* gc = std::get_if<GraphConvParams>(&params_)) {
     vec_copy(gc->bias.row(0), out);
-    gemv_row_accum(x_agg, gc->weight, out);
+    weight_gemv(x_agg, gc->weight, packed, 0, out);
     return;
   }
   RIPPLE_CHECK(h_self.size() == in_dim_);
   if (const auto* sage = std::get_if<SageParams>(&params_)) {
     vec_copy(sage->bias.row(0), out);
-    gemv_row_accum(h_self, sage->w_self, out);
-    gemv_row_accum(x_agg, sage->w_neigh, out);
+    weight_gemv(h_self, sage->w_self, packed, 0, out);
+    weight_gemv(x_agg, sage->w_neigh, packed, 1, out);
     return;
   }
   const auto& gin = std::get<GinParams>(params_);
@@ -76,10 +124,10 @@ void GnnLayer::update_row(std::span<const float> h_self,
   }
   std::vector<float> q(gin.w1.cols());
   vec_copy(gin.b1.row(0), q);
-  gemv_row_accum(z, gin.w1, q);
+  weight_gemv(z, gin.w1, packed, 0, q);
   relu_row(q);
   vec_copy(gin.b2.row(0), out);
-  gemv_row_accum(q, gin.w2, out);
+  weight_gemv(q, gin.w2, packed, 1, out);
 }
 
 namespace {
@@ -90,19 +138,20 @@ namespace {
 // independent, so the bits match across all three (incl. par == nullptr).
 template <typename Par>
 void update_matrix_impl(const GnnLayer::Params& params, std::size_t in_dim,
+                        const std::vector<PackedMatrix>* packed,
                         const Matrix& h_prev, const Matrix& x_agg,
                         Matrix& h_out, Par* par) {
   RIPPLE_CHECK(x_agg.cols() == in_dim);
   if (const auto* gc = std::get_if<GraphConvParams>(&params)) {
-    gemm(x_agg, gc->weight, h_out, par);
+    weight_gemm(x_agg, gc->weight, packed, 0, h_out, par);
     add_bias_rows(h_out, gc->bias);
     return;
   }
   RIPPLE_CHECK(h_prev.cols() == in_dim && h_prev.rows() == x_agg.rows());
   if (const auto* sage = std::get_if<SageParams>(&params)) {
-    gemm(h_prev, sage->w_self, h_out, par);
+    weight_gemm(h_prev, sage->w_self, packed, 0, h_out, par);
     Matrix neigh_part;
-    gemm(x_agg, sage->w_neigh, neigh_part, par);
+    weight_gemm(x_agg, sage->w_neigh, packed, 1, neigh_part, par);
     for (std::size_t r = 0; r < h_out.rows(); ++r) {
       vec_add(h_out.row(r), neigh_part.row(r));
     }
@@ -110,7 +159,8 @@ void update_matrix_impl(const GnnLayer::Params& params, std::size_t in_dim,
     return;
   }
   const auto& gin = std::get<GinParams>(params);
-  Matrix z(h_prev.rows(), in_dim);
+  Matrix z;
+  z.resize_no_fill(h_prev.rows(), in_dim);
   for (std::size_t r = 0; r < z.rows(); ++r) {
     auto zr = z.row(r);
     const auto hr = h_prev.row(r);
@@ -120,10 +170,10 @@ void update_matrix_impl(const GnnLayer::Params& params, std::size_t in_dim,
     }
   }
   Matrix q;
-  gemm(z, gin.w1, q, par);
+  weight_gemm(z, gin.w1, packed, 0, q, par);
   add_bias_rows(q, gin.b1);
   relu_inplace(q);
-  gemm(q, gin.w2, h_out, par);
+  weight_gemm(q, gin.w2, packed, 1, h_out, par);
   add_bias_rows(h_out, gin.b2);
 }
 
@@ -131,13 +181,17 @@ void update_matrix_impl(const GnnLayer::Params& params, std::size_t in_dim,
 
 void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
                              Matrix& h_out, ThreadPool* pool) const {
-  update_matrix_impl(params_, in_dim_, h_prev, x_agg, h_out, pool);
+  update_matrix_impl(params_, in_dim_,
+                     has_packed_weights() ? &packed_ : nullptr, h_prev, x_agg,
+                     h_out, pool);
 }
 
 void GnnLayer::update_matrix(const Matrix& h_prev, const Matrix& x_agg,
                              Matrix& h_out,
                              WorkStealingScheduler* scheduler) const {
-  update_matrix_impl(params_, in_dim_, h_prev, x_agg, h_out, scheduler);
+  update_matrix_impl(params_, in_dim_,
+                     has_packed_weights() ? &packed_ : nullptr, h_prev, x_agg,
+                     h_out, scheduler);
 }
 
 std::size_t GnnLayer::num_parameters() const {

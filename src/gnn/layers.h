@@ -13,7 +13,9 @@
 #include <span>
 #include <string>
 #include <variant>
+#include <vector>
 
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace ripple {
@@ -84,7 +86,23 @@ class GnnLayer {
                      WorkStealingScheduler* scheduler) const;
 
   const Params& params() const { return params_; }
-  Params& mutable_params() { return params_; }
+
+  // Mutable access to the weights (the trainer's optimizer path).
+  // Invalidates the packed-panel cache: subsequent update_* calls fall back
+  // to the unpacked kernels — bit-identical results, just slower — until
+  // repack() is called.
+  Params& mutable_params() {
+    packed_.clear();
+    return params_;
+  }
+
+  // Re-derives the packed weight panels from the current params (called by
+  // the constructor; call after mutating weights to restore the packed fast
+  // path). GNN layer weights are immutable across the stream, so in steady
+  // state every update_row / update_matrix on every engine's hot path reads
+  // the panels packed once at model load.
+  void repack();
+  bool has_packed_weights() const { return !packed_.empty(); }
 
   // Number of learnable scalars (reporting / optimizer sizing).
   std::size_t num_parameters() const;
@@ -94,6 +112,10 @@ class GnnLayer {
   Params params_;
   std::size_t in_dim_;
   std::size_t out_dim_;
+  // Packed panels per weight matrix in declaration order (GC: [W];
+  // SAGE: [W_self, W_neigh]; GIN: [W1, W2]). Empty means stale (weights
+  // were handed out mutably); biases are row vectors and stay unpacked.
+  std::vector<PackedMatrix> packed_;
 };
 
 }  // namespace ripple

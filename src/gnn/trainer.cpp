@@ -257,6 +257,14 @@ TrainResult train_full_batch(GnnModel& model, const DynamicGraph& graph,
     result.final_loss = loss;
   }
 
+  // Training mutated the weights through collect_params' pointers, so the
+  // layers' packed-panel caches went stale at collection time; repack now
+  // that the weights are final, restoring the fast inference path for any
+  // engine built on this model (bit-identical to the stale fallback).
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    model.mutable_layer(l).repack();
+  }
+
   // Final metrics with the trained weights.
   const Matrix* h_prev = &features;
   Matrix x_agg;

@@ -1,10 +1,18 @@
 // Dense row-major float32 matrix. This is the only tensor type Ripple
 // needs: per-layer embedding tables are (num_vertices x dim) matrices and
 // GNN weights are (in_dim x out_dim) matrices.
+//
+// Storage is 64-byte aligned (one cache line / a full AVX-512 lane, and a
+// whole number of AVX2 lanes) so the SIMD kernel tiers (tensor/kernels.h)
+// can rely on an aligned base pointer. Individual ROWS are only aligned
+// when cols is a multiple of 16 floats; kernels therefore use unaligned
+// loads on row views and the alignment pays off as clean cache-line
+// streaming, not as an aligned-load requirement.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -13,6 +21,41 @@
 namespace ripple {
 
 class Rng;
+
+// Minimal stateless aligned allocator for the tensor buffers.
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+// 64-byte-aligned float buffer: Matrix storage and the packed weight panels.
+using AlignedVector = std::vector<float, AlignedAllocator<float>>;
 
 class Matrix {
  public:
@@ -26,7 +69,7 @@ class Matrix {
     Matrix m;
     m.rows_ = rows;
     m.cols_ = cols;
-    m.data_ = std::move(data);
+    m.data_.assign(data.begin(), data.end());
     return m;
   }
 
@@ -63,15 +106,30 @@ class Matrix {
     return std::span<const float>(data_.data() + r * cols_, cols_);
   }
 
+  // Contract: the returned pointer is 64-byte aligned (see header comment).
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
   void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  // Reshape and fill EVERY element with fill_value (the historical
+  // semantics). Keeps the existing allocation whenever capacity allows.
   void resize(std::size_t rows, std::size_t cols, float fill_value = 0.0f) {
     rows_ = rows;
     cols_ = cols;
     data_.assign(rows * cols, fill_value);
+  }
+
+  // Reshape WITHOUT refilling: when the element count is unchanged the
+  // buffer (allocation and values) is kept as-is; on a count change,
+  // elements beyond the old count are zero and the rest carry over in flat
+  // row-major order — i.e. contents are unspecified shape-wise. For kernel
+  // outputs that overwrite every element (gemm/update_matrix scratch),
+  // where resize()'s unconditional refill is pure waste.
+  void resize_no_fill(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() != rows * cols) data_.resize(rows * cols);
   }
 
   bool same_shape(const Matrix& other) const {
@@ -84,7 +142,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  AlignedVector data_;
 };
 
 }  // namespace ripple

@@ -10,62 +10,76 @@ namespace ripple {
 
 namespace {
 
-// Inner kernel for one row strip of C = A * B.
-void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-               std::size_t r1) {
+// One body for both parallel backends (ThreadPool static chunks vs
+// work-stealing row blocks). Row results are split-independent, so the
+// output bits match the serial path.
+template <typename Par>
+void gemm_impl(const Matrix& a, const PackedMatrix& b, Matrix& c, Par* par) {
+  RIPPLE_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: a is "
+                                             << a.rows() << 'x' << a.cols()
+                                             << ", b is " << b.rows() << 'x'
+                                             << b.cols());
+  c.resize_no_fill(a.rows(), b.cols());
+  const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* ci = c.data() + i * n;
-    std::fill(ci, ci + n, 0.0f);
-    const float* ai = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* bp = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  const KernelOps& ops = kernels();
+  auto rows = [&](std::size_t lo, std::size_t hi) {
+    ops.gemm_packed(a.data() + lo * k, hi - lo, k, k, b, c.data() + lo * n,
+                    n);
+  };
+  if (par != nullptr && m >= 128) {
+    if constexpr (std::is_same_v<Par, ThreadPool>) {
+      par->parallel_for(0, m, rows, 64);
+    } else {
+      par->parallel_range(0, m, rows, 64);
     }
+  } else {
+    rows(0, m);
   }
+}
+
+// Per-call B packing for the Matrix-B gemm overloads. The SERIAL path
+// reuses a thread_local scratch (one pack, zero allocations in steady
+// state; gemm never calls itself, so no reentrancy on one thread). The
+// PARALLEL paths pack into a call-local buffer instead: while a region
+// drains, the calling participant may help-execute or steal an UNRELATED
+// task that itself packs — which would clobber a shared thread_local while
+// this call's row blocks still read it. One allocation per ≥128-row GEMM
+// is noise next to the m·k·n work (and layer weights take the pre-packed
+// overloads anyway).
+template <typename Par>
+void gemm_pack_b(const Matrix& a, const Matrix& b, Matrix& c, Par* par) {
+  if (par != nullptr && a.rows() >= 128) {
+    PackedMatrix local;
+    local.assign(b);
+    gemm_impl(a, local, c, par);
+    return;
+  }
+  thread_local PackedMatrix scratch;
+  scratch.assign(b);
+  gemm_impl(a, scratch, c, static_cast<Par*>(nullptr));
 }
 
 }  // namespace
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, ThreadPool* pool) {
-  RIPPLE_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: a is "
-                                             << a.rows() << 'x' << a.cols()
-                                             << ", b is " << b.rows() << 'x'
-                                             << b.cols());
-  if (c.rows() != a.rows() || c.cols() != b.cols()) {
-    c.resize(a.rows(), b.cols());
-  }
-  const std::size_t m = a.rows();
-  if (pool != nullptr && m >= 128) {
-    pool->parallel_for(
-        0, m, [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
-        64);
-  } else {
-    gemm_rows(a, b, c, 0, m);
-  }
+  gemm_pack_b(a, b, c, pool);
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c,
           WorkStealingScheduler* scheduler) {
-  RIPPLE_CHECK_MSG(a.cols() == b.rows(), "gemm shape mismatch: a is "
-                                             << a.rows() << 'x' << a.cols()
-                                             << ", b is " << b.rows() << 'x'
-                                             << b.cols());
-  if (c.rows() != a.rows() || c.cols() != b.cols()) {
-    c.resize(a.rows(), b.cols());
-  }
-  const std::size_t m = a.rows();
-  if (scheduler != nullptr && m >= 128) {
-    scheduler->parallel_range(
-        0, m,
-        [&](std::size_t lo, std::size_t hi) { gemm_rows(a, b, c, lo, hi); },
-        64);
-  } else {
-    gemm_rows(a, b, c, 0, m);
-  }
+  gemm_pack_b(a, b, c, scheduler);
+}
+
+void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
+          ThreadPool* pool) {
+  gemm_impl(a, b, c, pool);
+}
+
+void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
+          WorkStealingScheduler* scheduler) {
+  gemm_impl(a, b, c, scheduler);
 }
 
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -73,16 +87,14 @@ void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.cols();
-  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+  c.resize_no_fill(m, n);
   c.fill(0.0f);
+  const KernelOps& ops = kernels();
   for (std::size_t p = 0; p < k; ++p) {
     const float* ap = a.data() + p * m;
     const float* bp = b.data() + p * n;
     for (std::size_t i = 0; i < m; ++i) {
-      const float aip = ap[i];
-      if (aip == 0.0f) continue;
-      float* ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      ops.vec_axpy(c.data() + i * n, ap[i], bp, n);
     }
   }
 }
@@ -92,15 +104,13 @@ void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+  c.resize_no_fill(m, n);
+  const KernelOps& ops = kernels();
   for (std::size_t i = 0; i < m; ++i) {
     const float* ai = a.data() + i * k;
     float* ci = c.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const float* bj = b.data() + j * k;
-      float acc = 0;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = acc;
+      ci[j] = ops.vec_dot(ai, b.data() + j * k, k);
     }
   }
 }
@@ -115,19 +125,28 @@ void add_bias_rows(Matrix& dst, const Matrix& bias) {
 void gemv_row(std::span<const float> x, const Matrix& w, std::span<float> y) {
   RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
   std::fill(y.begin(), y.end(), 0.0f);
-  gemv_row_accum(x, w, y);
+  kernels().gemv_accum(x.data(), x.size(), w.data(), w.cols(), y.data(),
+                       y.size());
 }
 
 void gemv_row_accum(std::span<const float> x, const Matrix& w,
                     std::span<float> y) {
   RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
-  const std::size_t n = w.cols();
-  for (std::size_t p = 0; p < x.size(); ++p) {
-    const float xp = x[p];
-    if (xp == 0.0f) continue;
-    const float* wp = w.data() + p * n;
-    for (std::size_t j = 0; j < n; ++j) y[j] += xp * wp[j];
-  }
+  kernels().gemv_accum(x.data(), x.size(), w.data(), w.cols(), y.data(),
+                       y.size());
+}
+
+void gemv_row(std::span<const float> x, const PackedMatrix& w,
+              std::span<float> y) {
+  RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
+  std::fill(y.begin(), y.end(), 0.0f);
+  kernels().gemv_accum_packed(x.data(), x.size(), w, y.data());
+}
+
+void gemv_row_accum(std::span<const float> x, const PackedMatrix& w,
+                    std::span<float> y) {
+  RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
+  kernels().gemv_accum_packed(x.data(), x.size(), w, y.data());
 }
 
 void vec_copy(std::span<const float> src, std::span<float> dst) {
@@ -141,28 +160,26 @@ void vec_fill(std::span<float> dst, float value) {
 
 void vec_add(std::span<float> dst, std::span<const float> src) {
   RIPPLE_CHECK(src.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  kernels().vec_add(dst.data(), src.data(), dst.size());
 }
 
 void vec_sub(std::span<float> dst, std::span<const float> src) {
   RIPPLE_CHECK(src.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] -= src[i];
+  kernels().vec_sub(dst.data(), src.data(), dst.size());
 }
 
 void vec_axpy(std::span<float> dst, float alpha, std::span<const float> src) {
   RIPPLE_CHECK(src.size() == dst.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += alpha * src[i];
+  kernels().vec_axpy(dst.data(), alpha, src.data(), dst.size());
 }
 
 void vec_scale(std::span<float> dst, float alpha) {
-  for (auto& v : dst) v *= alpha;
+  kernels().vec_scale(dst.data(), alpha, dst.size());
 }
 
 float vec_dot(std::span<const float> a, std::span<const float> b) {
   RIPPLE_CHECK(a.size() == b.size());
-  float acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels().vec_dot(a.data(), b.data(), a.size());
 }
 
 float vec_l2(std::span<const float> a) {
@@ -179,12 +196,11 @@ float vec_linf_diff(std::span<const float> a, std::span<const float> b) {
 }
 
 void relu_inplace(Matrix& m) {
-  float* p = m.data();
-  for (std::size_t i = 0; i < m.size(); ++i) p[i] = std::max(0.0f, p[i]);
+  kernels().relu(m.data(), m.size());
 }
 
 void relu_row(std::span<float> row) {
-  for (auto& v : row) v = std::max(0.0f, v);
+  kernels().relu(row.data(), row.size());
 }
 
 void relu_backward_row(std::span<const float> pre, std::span<float> grad) {

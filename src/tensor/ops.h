@@ -1,10 +1,19 @@
 // Dense kernels: GEMM/GEMV, vector (row) arithmetic, activations, softmax.
-// GEMM is blocked and optionally threaded via the global pool; GEMV serves
-// the per-vertex Update step on Ripple's hot path.
+// These are thin shape-checking wrappers over the SIMD-dispatched kernel
+// subsystem (tensor/kernels.h): the actual loops live in the per-ISA tiers
+// and are selected once at startup (overridable via --kernels=auto|scalar).
+// GEMM is cache-blocked over packed-B panels and optionally threaded via
+// the global pool or the work-stealing scheduler; GEMV serves the
+// per-vertex Update step on Ripple's hot path.
+//
+// Determinism: every op's output bits are independent of the selected tier
+// and of packed-vs-unpacked B (see the contract in kernels.h), so callers
+// may mix paths freely without breaking the engines' bit-exactness suites.
 #pragma once
 
 #include <span>
 
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace ripple {
@@ -12,7 +21,10 @@ namespace ripple {
 class ThreadPool;
 class WorkStealingScheduler;
 
-// C = A (m x k) * B (k x n). C is resized. Threaded for large m.
+// C = A (m x k) * B (k x n). C is resized. Threaded for large m. B is
+// packed into panels once per call; callers multiplying by an immutable
+// matrix repeatedly (layer weights) should pack once and use the
+// PackedMatrix overloads instead.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c,
           ThreadPool* pool = nullptr);
 
@@ -22,6 +34,13 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c,
 // shard's blocked Update GEMM spreads across the pool. Row results are
 // independent of the split, so the output bits match the serial path.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          WorkStealingScheduler* scheduler);
+
+// Pre-packed-B variants (b.rows() is the reduction depth k): bit-identical
+// to the Matrix-B overloads, minus the per-call packing.
+void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
+          ThreadPool* pool = nullptr);
+void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
           WorkStealingScheduler* scheduler);
 
 // C = A^T (k x m)^T * B (k x n) -> (m x n). Used for weight gradients.
@@ -38,6 +57,14 @@ void gemv_row(std::span<const float> x, const Matrix& w, std::span<float> y);
 
 // y += x * W (row GEMV accumulate).
 void gemv_row_accum(std::span<const float> x, const Matrix& w,
+                    std::span<float> y);
+
+// Packed-W variants of the row GEMV (the per-vertex Update fast path:
+// sequential panel streams instead of strided weight walks). Bit-identical
+// to the Matrix-W overloads.
+void gemv_row(std::span<const float> x, const PackedMatrix& w,
+              std::span<float> y);
+void gemv_row_accum(std::span<const float> x, const PackedMatrix& w,
                     std::span<float> y);
 
 // Row/vector primitives (all spans must have equal length).

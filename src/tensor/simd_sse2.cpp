@@ -1,0 +1,211 @@
+// SSE2 kernel tier — the x86-64 baseline (every x86-64 CPU has SSE2, so
+// this TU needs no special compile flags). Vectorizes across the output /
+// column axis only and uses separate mul+add (no FMA), so every output
+// element keeps the scalar tier's exact rounding chain (see kernels.h).
+// Tails are handled with scalar loops over the same per-element chains —
+// no masked loads, so the tier is sanitizer-clean by construction.
+#include "tensor/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace ripple {
+namespace {
+
+void v_vec_add(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i,
+                  _mm_add_ps(_mm_loadu_ps(dst + i), _mm_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void v_vec_sub(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i,
+                  _mm_sub_ps(_mm_loadu_ps(dst + i), _mm_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+void v_vec_axpy(float* dst, float alpha, const float* src, std::size_t n) {
+  const __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 prod = _mm_mul_ps(va, _mm_loadu_ps(src + i));
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void v_vec_scale(float* dst, float alpha, std::size_t n) {
+  const __m128 va = _mm_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i, _mm_mul_ps(_mm_loadu_ps(dst + i), va));
+  }
+  for (; i < n; ++i) dst[i] *= alpha;
+}
+
+void v_relu(float* p, std::size_t n) {
+  const __m128 zero = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // maxps(x, 0): -0 and NaN lanes yield the SECOND operand (+0), which is
+    // exactly the scalar tier's (x > 0 ? x : +0).
+    _mm_storeu_ps(p + i, _mm_max_ps(_mm_loadu_ps(p + i), zero));
+  }
+  for (; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+}
+
+float v_vec_dot(const float* a, const float* b, std::size_t n) {
+  // Canonical 8-lane split: lanes 0-3 in acc_lo, lanes 4-7 in acc_hi.
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc_lo = _mm_add_ps(acc_lo,
+                        _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+    acc_hi = _mm_add_ps(
+        acc_hi, _mm_mul_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4)));
+  }
+  alignas(16) float s[8];
+  _mm_store_ps(s, acc_lo);
+  _mm_store_ps(s + 4, acc_hi);
+  for (; i < n; ++i) s[i % 8] += a[i] * b[i];
+  float t[4];
+  for (std::size_t lane = 0; lane < 4; ++lane) t[lane] = s[lane] + s[lane + 4];
+  return (t[0] + t[2]) + (t[1] + t[3]);
+}
+
+void v_gemv_accum(const float* x, std::size_t k, const float* w,
+                  std::size_t ldw, float* y, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const __m128 xp = _mm_set1_ps(x[p]);
+    const float* wp = w + p * ldw;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m128 prod = _mm_mul_ps(xp, _mm_loadu_ps(wp + j));
+      _mm_storeu_ps(y + j, _mm_add_ps(_mm_loadu_ps(y + j), prod));
+    }
+    for (; j < n; ++j) y[j] += x[p] * wp[j];
+  }
+}
+
+void v_gemv_accum_packed(const float* x, std::size_t k, const PackedMatrix& w,
+                         float* y) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = w.cols();
+  for (std::size_t pj = 0; pj < w.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const float* panel = w.panel(pj);
+    float* yj = y + j0;
+    if (jw == kW) {
+      // Full panel: y strip lives in registers; the k-loop reads one
+      // sequential 64-byte stream.
+      __m128 acc0 = _mm_loadu_ps(yj);
+      __m128 acc1 = _mm_loadu_ps(yj + 4);
+      __m128 acc2 = _mm_loadu_ps(yj + 8);
+      __m128 acc3 = _mm_loadu_ps(yj + 12);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 xp = _mm_set1_ps(x[p]);
+        const float* bp = panel + p * kW;
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(xp, _mm_load_ps(bp)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(xp, _mm_load_ps(bp + 4)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(xp, _mm_load_ps(bp + 8)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(xp, _mm_load_ps(bp + 12)));
+      }
+      _mm_storeu_ps(yj, acc0);
+      _mm_storeu_ps(yj + 4, acc1);
+      _mm_storeu_ps(yj + 8, acc2);
+      _mm_storeu_ps(yj + 12, acc3);
+      continue;
+    }
+    std::size_t j = 0;
+    for (; j + 4 <= jw; j += 4) {
+      __m128 acc = _mm_loadu_ps(yj + j);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 xp = _mm_set1_ps(x[p]);
+        acc = _mm_add_ps(acc, _mm_mul_ps(xp, _mm_loadu_ps(panel + p * kW + j)));
+      }
+      _mm_storeu_ps(yj + j, acc);
+    }
+    for (; j < jw; ++j) {
+      float acc = yj[j];
+      for (std::size_t p = 0; p < k; ++p) acc += x[p] * panel[p * kW + j];
+      yj[j] = acc;
+    }
+  }
+}
+
+void v_gemm_packed(const float* a, std::size_t m, std::size_t k,
+                   std::size_t lda, const PackedMatrix& b, float* c,
+                   std::size_t ldc) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = b.cols();
+  for (std::size_t pj = 0; pj < b.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const float* panel = b.panel(pj);
+    for (std::size_t i = 0; i < m; ++i) {
+      __m128 acc0 = _mm_setzero_ps();
+      __m128 acc1 = _mm_setzero_ps();
+      __m128 acc2 = _mm_setzero_ps();
+      __m128 acc3 = _mm_setzero_ps();
+      const float* ai = a + i * lda;
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 va = _mm_set1_ps(ai[p]);
+        const float* bp = panel + p * kW;
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_load_ps(bp)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_load_ps(bp + 4)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_load_ps(bp + 8)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_load_ps(bp + 12)));
+      }
+      float* ci = c + i * ldc + j0;
+      if (jw == kW) {
+        _mm_storeu_ps(ci, acc0);
+        _mm_storeu_ps(ci + 4, acc1);
+        _mm_storeu_ps(ci + 8, acc2);
+        _mm_storeu_ps(ci + 12, acc3);
+      } else {
+        alignas(16) float tmp[kW];
+        _mm_store_ps(tmp, acc0);
+        _mm_store_ps(tmp + 4, acc1);
+        _mm_store_ps(tmp + 8, acc2);
+        _mm_store_ps(tmp + 12, acc3);
+        for (std::size_t lane = 0; lane < jw; ++lane) ci[lane] = tmp[lane];
+      }
+    }
+  }
+}
+
+const KernelOps kSse2Ops = {
+    .isa = KernelIsa::kSse2,
+    .vec_add = v_vec_add,
+    .vec_sub = v_vec_sub,
+    .vec_axpy = v_vec_axpy,
+    .vec_scale = v_vec_scale,
+    .relu = v_relu,
+    .vec_dot = v_vec_dot,
+    .gemv_accum = v_gemv_accum,
+    .gemv_accum_packed = v_gemv_accum_packed,
+    .gemm_packed = v_gemm_packed,
+};
+
+}  // namespace
+
+const KernelOps* sse2_kernel_ops() { return &kSse2Ops; }
+
+}  // namespace ripple
+
+#else  // !__SSE2__
+
+namespace ripple {
+const KernelOps* sse2_kernel_ops() { return nullptr; }
+}  // namespace ripple
+
+#endif

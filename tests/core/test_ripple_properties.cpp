@@ -252,6 +252,64 @@ TEST(RippleDeterminism, BitIdenticalForAnySchedulerShardAndThreadCount) {
   }
 }
 
+TEST(RippleDeterminism, BitIdenticalAcrossKernelModes) {
+  // The SIMD kernel tiers (tensor/kernels.h) vectorize across the output
+  // axis only and never fuse multiply-add, so --kernels=scalar and
+  // --kernels=auto must produce bit-identical embeddings — across shard
+  // counts, scheduler modes, and pool on/off. On a host whose auto
+  // dispatch resolves to scalar this degenerates to the determinism test
+  // above (still worth running: it exercises the mode toggle).
+  const KernelMode saved = kernel_mode();
+  ThreadPool pool(4);
+  for (const Workload workload :
+       {Workload::gc_s, Workload::gs_s, Workload::gi_s}) {
+    auto graph = testing::random_graph(70, 520, 940);
+    const auto features = testing::random_features(70, 9, 941);  // odd dim
+    const auto config = workload_config(workload, 9, 5, 2, 13);
+    const auto model = GnnModel::random(config, 942);
+
+    StreamConfig stream_config;
+    stream_config.num_updates = 90;
+    stream_config.feat_dim = 9;
+    stream_config.seed = 943;
+    const auto stream = generate_stream(graph, stream_config);
+
+    set_kernel_mode(KernelMode::kScalar);
+    RippleOptions ref_options;
+    ref_options.num_shards = 1;
+    ref_options.scheduler = SchedulerMode::kStatic;
+    RippleEngine reference(model, graph, features, nullptr, ref_options);
+    for (const auto& batch : make_batches(stream, 9)) {
+      reference.apply_batch(batch);
+    }
+
+    set_kernel_mode(KernelMode::kAuto);
+    for (const SchedulerMode scheduler :
+         {SchedulerMode::kStatic, SchedulerMode::kSteal}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                       std::size_t{8}}) {
+        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+          RippleOptions options;
+          options.num_shards = shards;
+          options.scheduler = scheduler;
+          RippleEngine engine(model, graph, features, p, options);
+          for (const auto& batch : make_batches(stream, 9)) {
+            engine.apply_batch(batch);
+          }
+          EXPECT_EQ(testing::max_store_diff(reference.embeddings(),
+                                            engine.embeddings()),
+                    0.0f)
+              << workload_name(workload) << " kernels=auto ("
+              << kernel_isa_name(active_kernel_isa())
+              << ") vs scalar, sched=" << scheduler_mode_name(scheduler)
+              << " shards=" << shards << " pooled=" << (p != nullptr);
+        }
+      }
+    }
+  }
+  set_kernel_mode(saved);
+}
+
 TEST(RippleDeterminism, StealSchedulerReportsStealStats) {
   // Pooled + steal: the batch result must report the scheduler's width and
   // task counts (the imbalance diagnostics parallel_scaling emits).

@@ -94,6 +94,50 @@ TEST(DistExactness, BitIdenticalToSingleMachineForAnyPartsAndThreads) {
   }
 }
 
+TEST(DistExactness, BitIdenticalAcrossKernelModes) {
+  // --kernels=scalar vs --kernels=auto across the distributed axis: a
+  // scalar-mode single-machine reference must match auto-mode dist engines
+  // bit-for-bit for every partition count and both engines (the kernel
+  // subsystem's determinism contract composes with the dist runtime's
+  // owner-computes bit-exactness).
+  const KernelMode saved = kernel_mode();
+  auto c = make_rmat_case(57);
+  const auto config = workload_config(Workload::gs_s, 8, 4, 2, 13);
+  const auto model = GnnModel::random(config, 59);
+  const auto batches = make_batches(c.stream, 9);
+
+  set_kernel_mode(KernelMode::kScalar);
+  RippleEngine ripple_ref(model, c.snapshot, c.features);
+  RecomputeEngine rc_ref(model, c.snapshot, c.features);
+  for (const auto& batch : batches) {
+    ripple_ref.apply_batch(batch);
+    rc_ref.apply_batch(batch);
+  }
+
+  set_kernel_mode(KernelMode::kAuto);
+  for (const std::size_t num_parts : {1, 2, 4}) {
+    SCOPED_TRACE(std::to_string(num_parts) + " parts, kernels=auto (" +
+                 kernel_isa_name(active_kernel_isa()) + ")");
+    auto partition = ldg_partition(c.snapshot, num_parts);
+    refine_partition(c.snapshot, partition, 1);
+    auto dist_ripple = make_dist_engine("ripple", model, c.snapshot,
+                                        c.features, partition);
+    auto dist_rc =
+        make_dist_engine("rc", model, c.snapshot, c.features, partition);
+    for (const auto& batch : batches) {
+      dist_ripple->apply_batch(batch);
+      dist_rc->apply_batch(batch);
+    }
+    EXPECT_EQ(testing::max_store_diff(ripple_ref.embeddings(),
+                                      dist_ripple->gather_embeddings()),
+              0.0f);
+    EXPECT_EQ(testing::max_store_diff(rc_ref.embeddings(),
+                                      dist_rc->gather_embeddings()),
+              0.0f);
+  }
+  set_kernel_mode(saved);
+}
+
 TEST(DistExactness, CountersMatchSingleMachine) {
   auto c = make_rmat_case(31);
   const auto config = workload_config(Workload::gs_s, 8, 4, 3, 10);

@@ -111,6 +111,48 @@ TEST(Layers, NumParametersCounts) {
   EXPECT_EQ(gin.num_parameters(), 12u + 3u + 9u + 3u + 1u);
 }
 
+TEST(Layers, PackedWeightCacheBitIdenticalToUnpacked) {
+  // Layers pack their weights at construction; mutable_params() staleness
+  // must fall back to the unpacked kernels with BIT-identical outputs, and
+  // repack() must restore the fast path — again bit-identical.
+  Rng rng(9);
+  for (auto kind : {LayerKind::graph_conv, LayerKind::sage, LayerKind::gin}) {
+    auto layer = GnnLayer::random(kind, 13, 7, rng);  // odd dims: panel tails
+    EXPECT_TRUE(layer.has_packed_weights()) << layer_kind_name(kind);
+    const auto h_prev = Matrix::random_uniform(5, 13, rng);
+    const auto x_agg = Matrix::random_uniform(5, 13, rng);
+
+    Matrix packed_out;
+    layer.update_matrix(h_prev, x_agg, packed_out);
+    std::vector<float> packed_row(7);
+    layer.update_row(h_prev.row(0), x_agg.row(0), packed_row);
+
+    (void)layer.mutable_params();  // invalidates, mutates nothing
+    EXPECT_FALSE(layer.has_packed_weights());
+    Matrix unpacked_out;
+    layer.update_matrix(h_prev, x_agg, unpacked_out);
+    std::vector<float> unpacked_row(7);
+    layer.update_row(h_prev.row(0), x_agg.row(0), unpacked_row);
+
+    ASSERT_TRUE(packed_out.same_shape(unpacked_out));
+    for (std::size_t i = 0; i < packed_out.size(); ++i) {
+      ASSERT_EQ(packed_out.data()[i], unpacked_out.data()[i])
+          << layer_kind_name(kind) << " flat index " << i;
+    }
+    for (std::size_t j = 0; j < 7; ++j) {
+      ASSERT_EQ(packed_row[j], unpacked_row[j]) << layer_kind_name(kind);
+    }
+
+    layer.repack();
+    EXPECT_TRUE(layer.has_packed_weights());
+    Matrix repacked_out;
+    layer.update_matrix(h_prev, x_agg, repacked_out);
+    for (std::size_t i = 0; i < packed_out.size(); ++i) {
+      ASSERT_EQ(packed_out.data()[i], repacked_out.data()[i]);
+    }
+  }
+}
+
 TEST(Layers, GinEpsScalesSelf) {
   Rng rng(8);
   auto layer = GnnLayer::random(LayerKind::gin, 3, 2, rng);

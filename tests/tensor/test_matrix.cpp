@@ -61,6 +61,37 @@ TEST(Matrix, ResizeReshapesAndRefills) {
   for (std::size_t i = 0; i < m.size(); ++i) {
     EXPECT_FLOAT_EQ(m.data()[i], 0.5f);
   }
+  // Same element count: resize still refills (the documented semantics).
+  m.resize(5, 3, 2.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 2.0f);
+  }
+}
+
+TEST(Matrix, ResizeNoFillKeepsValuesWhenCountUnchanged) {
+  Matrix m(2, 6);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i);
+  }
+  const float* before = m.data();
+  // Reshape with identical element count: no refill, no reallocation — the
+  // flat row-major contents carry over (kernel outputs overwrite anyway).
+  m.resize_no_fill(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.data(), before);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], static_cast<float>(i));
+  }
+  // Growth: existing values carry over flat; the new tail is zero.
+  m.resize_no_fill(4, 4);
+  EXPECT_EQ(m.size(), 16u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], static_cast<float>(i));
+  }
+  for (std::size_t i = 12; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(m.data()[i], 0.0f);
+  }
 }
 
 TEST(Matrix, SameShape) {
