@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Perf-trajectory recorder: writes BENCH_kernels.json, the repo's committed
+# record of kernel throughput on a known host, so kernel/packing changes in
+# later PRs diff against measured history instead of folklore.
+#
+# Sweeps:
+#   * bench_micro_kernels --quick at every --precision (its internal
+#     variant axis already re-runs each case under the scalar tier and the
+#     dispatched tier, so kernels x precision is covered);
+#   * bench_parallel_scaling --quick (end-to-end engine throughput) across
+#     --precision x --kernels.
+#
+# Output is one JSON document: header with the machine's dispatched kernel
+# tier + host info, then "runs": the JSON-lines rows scraped verbatim from
+# the benches. Rerun after kernel work and commit the diff:
+#
+#   ./bench/record_bench.sh            # writes BENCH_kernels.json
+#   ./bench/record_bench.sh out.json   # alternate output path
+#   BUILD_DIR=build-foo ./bench/record_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${BUILD_DIR:-build}"
+out="${1:-BENCH_kernels.json}"
+
+for bin in bench_micro_kernels bench_parallel_scaling; do
+  if [[ ! -x "$build/$bin" ]]; then
+    echo "record_bench.sh: $build/$bin not found — build the benches first" \
+         "(cmake -B $build -S . && cmake --build $build -j)" >&2
+    exit 1
+  fi
+done
+
+rows_file="$(mktemp)"
+diag_file="$(mktemp)"
+trap 'rm -f "$rows_file" "$diag_file"' EXIT
+
+for precision in f32 bf16 int8; do
+  "$build/bench_micro_kernels" --quick --precision="$precision" \
+    >>"$rows_file" 2>>"$diag_file"
+done
+
+for precision in f32 bf16 int8; do
+  for kernels in auto scalar; do
+    "$build/bench_parallel_scaling" --quick \
+      --precision="$precision" --kernels="$kernels" \
+      >>"$rows_file" 2>>"$diag_file"
+  done
+done
+
+# micro_kernels prints "dispatched tier=<isa>" on stderr; that is the
+# machine's auto-dispatch answer (avx512/avx2/sse2/scalar).
+tier="$(sed -n 's/.*dispatched tier=\([a-z0-9]*\).*/\1/p' "$diag_file" \
+        | head -1)"
+cpu="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)"
+compiler="$(${CXX:-g++} --version 2>/dev/null | head -1)"
+
+{
+  printf '{\n'
+  printf '  "recorded_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "dispatched_tier": "%s",\n' "${tier:-unknown}"
+  printf '  "host": {"cpu": "%s", "nproc": %s, "compiler": "%s"},\n' \
+         "${cpu:-unknown}" "$(nproc)" "${compiler:-unknown}"
+  printf '  "runs": [\n'
+  sed '$!s/$/,/; s/^/    /' "$rows_file"
+  printf '  ]\n}\n'
+} >"$out"
+
+count="$(wc -l <"$rows_file")"
+echo "record_bench.sh: wrote $out ($count runs, tier=${tier:-unknown})"

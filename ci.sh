@@ -13,7 +13,9 @@ ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
 # un-skips the multi-workload exactness pass over fork-based loopback
 # ranks (tests/dist/test_transport.cpp), so the socket path — framing,
 # barrier, measured timing — is exercised against the bit-exactness
-# contract on every CI run.
+# contract on every CI run. The wire-precision conformance test
+# (--wire-precision=bf16 halves row payloads, tcp bit-identical to sim)
+# lives in the same suite and therefore runs under this pass too.
 RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
   -j "$(nproc)"
 
@@ -48,6 +50,18 @@ cmake -B build-scalar -S . -DRIPPLE_KERNELS=scalar \
   -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
 cmake --build build-scalar -j "$(nproc)"
 ctest --test-dir build-scalar -L unit --output-on-failure -j "$(nproc)"
+
+# Reduced-precision sweep: the precision-labeled suites (bf16/int8
+# conversion primitives, packed-panel formats, and the accuracy-budget
+# replay harness asserting bf16 flips == 0 / int8 flips <= budget vs f32)
+# on both the dispatched and the forced-scalar build, then a smoke of the
+# --precision flag surface through a real binary at every tier so a flag-
+# parsing or pack-at-load regression cannot hide behind in-process tests.
+ctest --test-dir build -L precision --output-on-failure -j "$(nproc)"
+ctest --test-dir build-scalar -L precision --output-on-failure -j "$(nproc)"
+for precision in f32 bf16 int8; do
+  ./build/bench_micro_kernels --quick --precision="$precision" >/dev/null
+done
 
 # Optional -march=native stage (gated on compiler+host support): the widest
 # vector ISA the host has, with auto-vectorization and FMA contraction on

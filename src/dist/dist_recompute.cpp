@@ -66,7 +66,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
     const Matrix& h_prev = store_.layer(l);
     Matrix& h_out = store_.layer(l + 1);
     const std::size_t row_bytes =
-        model_.config().embedding_dim(l) * sizeof(float);
+        transport_->row_wire_bytes(model_.config().embedding_dim(l));
 
     // Halo pulls: every remote in-neighbor of an owned affected vertex is
     // fetched once per requesting partition this hop.

@@ -81,7 +81,7 @@ void DistRippleEngine::seed_edge_messages(VertexId u, VertexId v,
     if (!haloed) {
       std::size_t bytes = 0;
       for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-        bytes += model_.config().embedding_dim(l) * sizeof(float);
+        bytes += transport_->row_wire_bytes(model_.config().embedding_dim(l));
       }
       transport_->send_opaque(pu, pv, bytes);
     }
@@ -105,8 +105,8 @@ void DistRippleEngine::apply_feature_update(const GraphUpdate& update) {
   // One combined (x_new, x_old) message per remote partition owning at
   // least one out-neighbor; local sinks are seeded for free.
   for_each_remote_owner(u, pu, [&](std::size_t p) {
-    transport_->send_opaque(pu, p,
-                           2 * update.new_features.size() * sizeof(float));
+    transport_->send_opaque(
+        pu, p, transport_->row_wire_bytes(2 * update.new_features.size()));
   });
   const auto old_row = store_.features().row(u);
   for (const Neighbor& nb : graph_.out_neighbors(u)) {

@@ -246,15 +246,29 @@ void TcpTransport::begin_superstep() {
 void TcpTransport::send(std::size_t src, std::size_t dst, VertexId sender,
                         std::span<const float> payload) {
   RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
-  count_wire(payload.size() * sizeof(float), 1);
+  // Sender-side wire rounding BEFORE counting, replica delivery, and
+  // framing: every rank (replicated protocol) narrows identically, so the
+  // local inbox copies match the bits a receiver decodes off the wire and
+  // the counters stay backend-independent.
+  const std::span<const float> row = round_row_for_wire(payload);
+  const bool bf16_wire =
+      options().wire_precision == WirePrecision::kBf16;
+  count_wire(row_wire_bytes(row.size()), 1);
   if (dst != rank_) {
     // Feeds the replicated execution of a partition this rank does not own.
-    inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), payload);
+    inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), row);
   }
   if (src == rank_) {
     Peer& peer = peers_[dst];
-    wire::append_payload_frame(peer.sendbuf, sender,
-                               static_cast<std::uint32_t>(src), payload);
+    if (bf16_wire) {
+      // Narrowing the already-rounded row is exact, so the decode widens
+      // back to the same bits every replica holds.
+      wire::append_payload_frame_bf16(peer.sendbuf, sender,
+                                      static_cast<std::uint32_t>(src), row);
+    } else {
+      wire::append_payload_frame(peer.sendbuf, sender,
+                                 static_cast<std::uint32_t>(src), row);
+    }
     if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
   }
   // dst == rank_ && src != rank_: nothing locally — the authoritative copy
@@ -296,7 +310,8 @@ bool TcpTransport::flush_some(Peer& peer) {
 void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
   Peer& peer = peers_[peer_rank];
   switch (frame.type) {
-    case wire::FrameType::payload: {
+    case wire::FrameType::payload:
+    case wire::FrameType::payload_bf16: {
       RIPPLE_CHECK_MSG(frame.src_part == peer_rank,
                        "payload frame src_part " << frame.src_part
                                                  << " from rank "

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/types.h"
@@ -41,12 +42,29 @@ namespace ripple {
 
 class Flags;
 
+// Payload row precision ON THE WIRE (--wire-precision). At kBf16 every
+// shipped Δh / halo row is rounded to bfloat16 by the SENDER before it
+// reaches any inbox or socket, halving payload bytes under both the sim
+// cost model and measured tcp supersteps. Because the rounding happens
+// sender-side (not in the codec), the local replica inboxes and the
+// decoded wire bytes carry identical f32 bits — sim and tcp stay bit-equal
+// with equal counters at either precision. Orthogonal to --precision
+// (weight-panel storage): the two narrow different operands.
+enum class WirePrecision { kF32, kBf16 };
+
+const char* wire_precision_name(WirePrecision p);
+WirePrecision parse_wire_precision(const std::string& name);
+// The accepted --wire-precision values, for Flags::get_choice.
+const std::vector<std::string>& wire_precision_choices();
+
 struct TransportOptions {
   double per_message_sec = 5e-6;   // fixed per-message envelope latency
   double bytes_per_sec = 1.25e9;   // link bandwidth (10 GbE)
   std::size_t header_bytes = 16;   // per-message envelope size
+  WirePrecision wire_precision = WirePrecision::kF32;
 
-  // Reads --wire-latency-us (default 5.0) and --wire-gbps (default 10.0).
+  // Reads --wire-latency-us (default 5.0), --wire-gbps (default 10.0) and
+  // --wire-precision (default f32).
   static TransportOptions from_flags(const Flags& flags);
 };
 
@@ -120,8 +138,25 @@ class Transport {
   std::size_t wire_bytes() const { return wire_bytes_; }
   std::size_t wire_messages() const { return wire_messages_; }
 
+  // Payload bytes of one num_floats-wide embedding row at the configured
+  // wire precision (4 B/value at f32, 2 at bf16). Engines size BOTH their
+  // payload accounting and their opaque halo-row transfers with this, so
+  // --wire-precision=bf16 halves wire_bytes on every row-shaped transfer.
+  std::size_t row_wire_bytes(std::size_t num_floats) const {
+    return num_floats * (options_.wire_precision == WirePrecision::kBf16
+                             ? sizeof(std::uint16_t)
+                             : sizeof(float));
+  }
+
  protected:
   virtual const char* name_impl() const = 0;
+
+  // Sender-side wire rounding: at f32 returns `payload` unchanged; at bf16
+  // returns a view of a scratch row holding bf16_round of every value —
+  // what the receiver will see. Callers must consume the view before the
+  // next round_row_for_wire call (send() is serial per the interface
+  // contract).
+  std::span<const float> round_row_for_wire(std::span<const float> payload);
 
   // Adds one transfer to the cumulative wire counters.
   void count_wire(std::size_t payload_bytes, std::size_t num_messages) {
@@ -136,6 +171,7 @@ class Transport {
  private:
   std::size_t wire_bytes_ = 0;
   std::size_t wire_messages_ = 0;
+  std::vector<float> wire_round_scratch_;
 };
 
 class SimTransport final : public Transport {

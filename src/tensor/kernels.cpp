@@ -14,6 +14,7 @@ const char* kernel_isa_name(KernelIsa isa) {
     case KernelIsa::kScalar: return "scalar";
     case KernelIsa::kSse2: return "sse2";
     case KernelIsa::kAvx2: return "avx2";
+    case KernelIsa::kAvx512: return "avx512";
   }
   return "?";
 }
@@ -44,24 +45,93 @@ const char* apply_kernel_flag(const Flags& flags) {
   return kernel_isa_name(active_kernel_isa());
 }
 
-void PackedMatrix::assign(const Matrix& w) {
+void PackedMatrix::assign(const Matrix& w, Precision precision) {
   rows_ = w.rows();
   cols_ = w.cols();
+  precision_ = precision;
   const std::size_t panels = num_panels();
-  data_.resize(panels * rows_ * kPanelWidth);
+  const std::size_t elems = panels * rows_ * kPanelWidth;
+  // Keep only the active format's buffer allocated (a repack at a new
+  // precision releases the old panels rather than carrying both).
+  if (precision != Precision::kF32) AlignedVector().swap(data_);
+  if (precision != Precision::kBf16) {
+    std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>>().swap(
+        data_bf16_);
+  }
+  if (precision != Precision::kInt8) {
+    std::vector<std::int8_t, AlignedAllocator<std::int8_t>>().swap(
+        data_int8_);
+    scales_.clear();
+  }
+  switch (precision) {
+    case Precision::kF32: data_.resize(elems); break;
+    case Precision::kBf16: data_bf16_.resize(elems); break;
+    case Precision::kInt8:
+      data_int8_.resize(elems);
+      scales_.resize(panels);
+      break;
+  }
   for (std::size_t pj = 0; pj < panels; ++pj) {
     const std::size_t j0 = pj * kPanelWidth;
     const std::size_t jw = std::min(kPanelWidth, cols_ - j0);
-    float* out = data_.data() + pj * rows_ * kPanelWidth;
+    const std::size_t base = pj * rows_ * kPanelWidth;
+    if (precision == Precision::kInt8) {
+      // Panel scale covers the panel's REAL columns only — padded lanes
+      // are zero codes and must not widen the quantization range.
+      float max_abs = 0.0f;
+      for (std::size_t p = 0; p < rows_; ++p) {
+        const float* src = w.data() + p * cols_ + j0;
+        const float s = int8_scale(src, jw);
+        if (s > max_abs) max_abs = s;
+      }
+      scales_[pj] = max_abs;  // int8_scale already divides by 127
+    }
     for (std::size_t p = 0; p < rows_; ++p) {
       const float* src = w.data() + p * cols_ + j0;
-      float* dst = out + p * kPanelWidth;
-      std::memcpy(dst, src, jw * sizeof(float));
-      if (jw < kPanelWidth) {
-        std::memset(dst + jw, 0, (kPanelWidth - jw) * sizeof(float));
+      switch (precision) {
+        case Precision::kF32: {
+          float* dst = data_.data() + base + p * kPanelWidth;
+          std::memcpy(dst, src, jw * sizeof(float));
+          if (jw < kPanelWidth) {
+            std::memset(dst + jw, 0, (kPanelWidth - jw) * sizeof(float));
+          }
+          break;
+        }
+        case Precision::kBf16: {
+          std::uint16_t* dst = data_bf16_.data() + base + p * kPanelWidth;
+          for (std::size_t lane = 0; lane < jw; ++lane) {
+            dst[lane] = bf16_from_f32(src[lane]);
+          }
+          for (std::size_t lane = jw; lane < kPanelWidth; ++lane) {
+            dst[lane] = 0;
+          }
+          break;
+        }
+        case Precision::kInt8: {
+          std::int8_t* dst = data_int8_.data() + base + p * kPanelWidth;
+          const float scale = scales_[pj];
+          for (std::size_t lane = 0; lane < jw; ++lane) {
+            dst[lane] = int8_quantize(src[lane], scale);
+          }
+          for (std::size_t lane = jw; lane < kPanelWidth; ++lane) {
+            dst[lane] = 0;
+          }
+          break;
+        }
       }
     }
   }
+}
+
+std::size_t PackedMatrix::bytes() const {
+  switch (precision_) {
+    case Precision::kF32: return data_.size() * sizeof(float);
+    case Precision::kBf16: return data_bf16_.size() * sizeof(std::uint16_t);
+    case Precision::kInt8:
+      return data_int8_.size() * sizeof(std::int8_t) +
+             scales_.size() * sizeof(float);
+  }
+  return 0;
 }
 
 namespace {
@@ -74,12 +144,24 @@ bool cpu_has_avx2() {
 #endif
 }
 
+bool cpu_has_avx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
 const KernelOps* best_table(KernelMode mode) {
 #ifdef RIPPLE_FORCE_SCALAR_KERNELS
   (void)mode;
   return scalar_kernel_ops();
 #else
   if (mode == KernelMode::kScalar) return scalar_kernel_ops();
+  if (const KernelOps* avx512 = avx512_kernel_ops();
+      avx512 != nullptr && cpu_has_avx512f()) {
+    return avx512;
+  }
   if (const KernelOps* avx2 = avx2_kernel_ops();
       avx2 != nullptr && cpu_has_avx2()) {
     return avx2;
@@ -125,6 +207,8 @@ const KernelOps* kernel_ops_for(KernelIsa isa) {
     case KernelIsa::kSse2: return sse2_kernel_ops();
     case KernelIsa::kAvx2:
       return cpu_has_avx2() ? avx2_kernel_ops() : nullptr;
+    case KernelIsa::kAvx512:
+      return cpu_has_avx512f() ? avx512_kernel_ops() : nullptr;
   }
   return nullptr;
 }
@@ -136,6 +220,9 @@ std::vector<KernelIsa> available_kernel_isas() {
   }
   if (kernel_ops_for(KernelIsa::kAvx2) != nullptr) {
     isas.push_back(KernelIsa::kAvx2);
+  }
+  if (kernel_ops_for(KernelIsa::kAvx512) != nullptr) {
+    isas.push_back(KernelIsa::kAvx512);
   }
   return isas;
 }

@@ -10,6 +10,27 @@ namespace ripple {
 
 namespace {
 
+// Selects the gemm/gemv table entry matching the pack's storage precision
+// (kernels.h): these wrappers are the single place precision dispatch
+// happens, so layer and engine code just passes panels around.
+auto gemm_packed_fn(const KernelOps& ops, Precision p) {
+  switch (p) {
+    case Precision::kF32: return ops.gemm_packed;
+    case Precision::kBf16: return ops.gemm_packed_bf16;
+    case Precision::kInt8: return ops.gemm_packed_int8;
+  }
+  return ops.gemm_packed;
+}
+
+auto gemv_packed_fn(const KernelOps& ops, Precision p) {
+  switch (p) {
+    case Precision::kF32: return ops.gemv_accum_packed;
+    case Precision::kBf16: return ops.gemv_accum_packed_bf16;
+    case Precision::kInt8: return ops.gemv_accum_packed_int8;
+  }
+  return ops.gemv_accum_packed;
+}
+
 // One body for both parallel backends (ThreadPool static chunks vs
 // work-stealing row blocks). Row results are split-independent, so the
 // output bits match the serial path.
@@ -24,9 +45,9 @@ void gemm_impl(const Matrix& a, const PackedMatrix& b, Matrix& c, Par* par) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   const KernelOps& ops = kernels();
+  const auto gemm_fn = gemm_packed_fn(ops, b.precision());
   auto rows = [&](std::size_t lo, std::size_t hi) {
-    ops.gemm_packed(a.data() + lo * k, hi - lo, k, k, b, c.data() + lo * n,
-                    n);
+    gemm_fn(a.data() + lo * k, hi - lo, k, k, b, c.data() + lo * n, n);
   };
   if (par != nullptr && m >= 128) {
     if constexpr (std::is_same_v<Par, ThreadPool>) {
@@ -39,15 +60,81 @@ void gemm_impl(const Matrix& a, const PackedMatrix& b, Matrix& c, Par* par) {
   }
 }
 
+// Keyed pack cache for the serial Matrix-B gemm path (see ops.h). A few
+// LRU entries keyed by (data pointer, shape); a hit is only served after
+// an FNV-1a content hash over B's element bits matches, so in-place weight
+// mutation and allocator address reuse both read as misses rather than
+// stale panels. The hash pass is a sequential read of B — strictly cheaper
+// than the repack (read + panel write + possible allocation) it replaces,
+// and alternating B's no longer thrash a single scratch slot.
+struct PackCache {
+  struct Entry {
+    const float* data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::uint64_t hash = 0;
+    std::uint64_t stamp = 0;
+    PackedMatrix packed;
+  };
+  static constexpr std::size_t kEntries = 4;
+  Entry entries[kEntries];
+  std::uint64_t clock = 0;
+  GemmPackCacheStats stats;
+};
+
+thread_local PackCache g_pack_cache;
+
+std::uint64_t content_hash(const Matrix& b) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(b.data());
+  std::size_t nbytes = b.size() * sizeof(float);
+  while (nbytes >= 8) {
+    std::uint64_t block;
+    std::memcpy(&block, p, 8);
+    h = (h ^ block) * kPrime;
+    p += 8;
+    nbytes -= 8;
+  }
+  while (nbytes > 0) {
+    h = (h ^ *p++) * kPrime;
+    --nbytes;
+  }
+  return h;
+}
+
+const PackedMatrix& pack_cached(const Matrix& b) {
+  PackCache& cache = g_pack_cache;
+  const std::uint64_t h = content_hash(b);
+  ++cache.clock;
+  PackCache::Entry* victim = &cache.entries[0];
+  for (PackCache::Entry& e : cache.entries) {
+    if (e.data == b.data() && e.rows == b.rows() && e.cols == b.cols() &&
+        e.hash == h) {
+      e.stamp = cache.clock;
+      ++cache.stats.hits;
+      return e.packed;
+    }
+    if (e.stamp < victim->stamp) victim = &e;
+  }
+  ++cache.stats.misses;
+  victim->data = b.data();
+  victim->rows = b.rows();
+  victim->cols = b.cols();
+  victim->hash = h;
+  victim->stamp = cache.clock;
+  victim->packed.assign(b);
+  return victim->packed;
+}
+
 // Per-call B packing for the Matrix-B gemm overloads. The SERIAL path
-// reuses a thread_local scratch (one pack, zero allocations in steady
-// state; gemm never calls itself, so no reentrancy on one thread). The
-// PARALLEL paths pack into a call-local buffer instead: while a region
-// drains, the calling participant may help-execute or steal an UNRELATED
-// task that itself packs — which would clobber a shared thread_local while
-// this call's row blocks still read it. One allocation per ≥128-row GEMM
-// is noise next to the m·k·n work (and layer weights take the pre-packed
-// overloads anyway).
+// packs through the keyed cache (gemm never calls itself, so no
+// reentrancy on one thread). The PARALLEL paths pack into a call-local
+// buffer instead: while a region drains, the calling participant may
+// help-execute or steal an UNRELATED task that itself packs — which would
+// clobber a cached entry while this call's row blocks still read it. One
+// allocation per ≥128-row GEMM is noise next to the m·k·n work (and layer
+// weights take the pre-packed overloads anyway).
 template <typename Par>
 void gemm_pack_b(const Matrix& a, const Matrix& b, Matrix& c, Par* par) {
   if (par != nullptr && a.rows() >= 128) {
@@ -56,12 +143,18 @@ void gemm_pack_b(const Matrix& a, const Matrix& b, Matrix& c, Par* par) {
     gemm_impl(a, local, c, par);
     return;
   }
-  thread_local PackedMatrix scratch;
-  scratch.assign(b);
-  gemm_impl(a, scratch, c, static_cast<Par*>(nullptr));
+  gemm_impl(a, pack_cached(b), c, static_cast<Par*>(nullptr));
 }
 
 }  // namespace
+
+GemmPackCacheStats gemm_pack_cache_stats() { return g_pack_cache.stats; }
+
+void gemm_pack_cache_reset() {
+  for (PackCache::Entry& e : g_pack_cache.entries) e = PackCache::Entry{};
+  g_pack_cache.clock = 0;
+  g_pack_cache.stats = GemmPackCacheStats{};
+}
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c, ThreadPool* pool) {
   gemm_pack_b(a, b, c, pool);
@@ -140,13 +233,15 @@ void gemv_row(std::span<const float> x, const PackedMatrix& w,
               std::span<float> y) {
   RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
   std::fill(y.begin(), y.end(), 0.0f);
-  kernels().gemv_accum_packed(x.data(), x.size(), w, y.data());
+  const KernelOps& ops = kernels();
+  gemv_packed_fn(ops, w.precision())(x.data(), x.size(), w, y.data());
 }
 
 void gemv_row_accum(std::span<const float> x, const PackedMatrix& w,
                     std::span<float> y) {
   RIPPLE_CHECK(x.size() == w.rows() && y.size() == w.cols());
-  kernels().gemv_accum_packed(x.data(), x.size(), w, y.data());
+  const KernelOps& ops = kernels();
+  gemv_packed_fn(ops, w.precision())(x.data(), x.size(), w, y.data());
 }
 
 void vec_copy(std::span<const float> src, std::span<float> dst) {

@@ -22,9 +22,12 @@ class ThreadPool;
 class WorkStealingScheduler;
 
 // C = A (m x k) * B (k x n). C is resized. Threaded for large m. B is
-// packed into panels once per call; callers multiplying by an immutable
-// matrix repeatedly (layer weights) should pack once and use the
-// PackedMatrix overloads instead.
+// packed into panels via a small per-thread keyed cache (see
+// gemm_pack_cache_stats below): repeated serial GEMMs against the same
+// unchanged B skip the repack. Callers multiplying by an immutable matrix
+// repeatedly (layer weights) should still pack once and use the
+// PackedMatrix overloads — those also select the reduced-precision kernel
+// matching the pack's precision.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c,
           ThreadPool* pool = nullptr);
 
@@ -42,6 +45,20 @@ void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
           ThreadPool* pool = nullptr);
 void gemm(const Matrix& a, const PackedMatrix& b, Matrix& c,
           WorkStealingScheduler* scheduler);
+
+// The serial Matrix-B gemm packs B through a per-thread LRU cache of a few
+// entries keyed by (data pointer, shape) and VALIDATED by a content hash on
+// every hit — an in-place weight mutation or a reused allocation misses
+// instead of serving stale panels. The parallel (≥128-row) path bypasses
+// the cache (a stolen unrelated task could otherwise clobber the shared
+// entry mid-GEMM) exactly as it bypassed the old thread_local scratch.
+struct GemmPackCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+// Stats and reset for the CALLING thread's cache (test hooks).
+GemmPackCacheStats gemm_pack_cache_stats();
+void gemm_pack_cache_reset();
 
 // C = A^T (k x m)^T * B (k x n) -> (m x n). Used for weight gradients.
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);

@@ -1,0 +1,74 @@
+// Precision-tier dispatch and int8 quantization helpers (see precision.h).
+#include "tensor/precision.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace ripple {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kF32: return "f32";
+    case Precision::kBf16: return "bf16";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+Precision parse_precision(const std::string& name) {
+  if (name == "f32") return Precision::kF32;
+  if (name == "bf16") return Precision::kBf16;
+  if (name == "int8") return Precision::kInt8;
+  throw check_error("unknown precision '" + name +
+                    "' (expected f32|bf16|int8)");
+}
+
+const std::vector<std::string>& precision_choices() {
+  static const std::vector<std::string> choices = {"f32", "bf16", "int8"};
+  return choices;
+}
+
+namespace {
+std::atomic<Precision> g_precision{Precision::kF32};
+}  // namespace
+
+const char* apply_precision_flag(const Flags& flags) {
+  set_precision(parse_precision(
+      flags.get_choice("precision", precision_choices(), "f32")));
+  return precision_name(active_precision());
+}
+
+void set_precision(Precision p) {
+  g_precision.store(p, std::memory_order_release);
+}
+
+Precision active_precision() {
+  return g_precision.load(std::memory_order_acquire);
+}
+
+float int8_scale(const float* w, std::size_t n) {
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    RIPPLE_CHECK_MSG(std::isfinite(w[i]),
+                     "int8 packing requires finite weights (got " << w[i]
+                                                                  << ')');
+    const float a = std::fabs(w[i]);
+    if (a > max_abs) max_abs = a;
+  }
+  return max_abs / 127.0f;
+}
+
+std::int8_t int8_quantize(float x, float scale) {
+  if (scale == 0.0f) return 0;
+  // lrintf honors the current rounding mode — round-to-nearest-even by
+  // default, matching the bf16 narrowing and IEEE arithmetic.
+  long q = std::lrintf(x / scale);
+  if (q > 127) q = 127;
+  if (q < -127) q = -127;
+  return static_cast<std::int8_t>(q);
+}
+
+}  // namespace ripple

@@ -183,6 +183,202 @@ void v_gemm_packed(const float* a, std::size_t m, std::size_t k,
   }
 }
 
+// ---- reduced-precision panels (precision.h) --------------------------
+// Dequant is per-element and exact (bf16 widen is a shift; int8 codes are
+// integers ≤ 127, exactly representable), so folding it into the f32 loop
+// shapes keeps the per-element chains identical to the scalar reference.
+
+// bf16 widen: (v << 16) reinterpreted as f32. unpacklo/hi with zero in the
+// FIRST operand puts the zero halfword in the low 16 bits of each lane.
+inline __m128 bf16_lo4(__m128i v16) {
+  return _mm_castsi128_ps(_mm_unpacklo_epi16(_mm_setzero_si128(), v16));
+}
+inline __m128 bf16_hi4(__m128i v16) {
+  return _mm_castsi128_ps(_mm_unpackhi_epi16(_mm_setzero_si128(), v16));
+}
+
+void v_gemv_accum_packed_bf16(const float* x, std::size_t k,
+                              const PackedMatrix& w, float* y) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = w.cols();
+  for (std::size_t pj = 0; pj < w.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const std::uint16_t* panel = w.panel_bf16(pj);
+    float* yj = y + j0;
+    if (jw == kW) {
+      __m128 acc0 = _mm_loadu_ps(yj);
+      __m128 acc1 = _mm_loadu_ps(yj + 4);
+      __m128 acc2 = _mm_loadu_ps(yj + 8);
+      __m128 acc3 = _mm_loadu_ps(yj + 12);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 xp = _mm_set1_ps(x[p]);
+        const std::uint16_t* bp = panel + p * kW;
+        const __m128i v0 =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(bp));
+        const __m128i v1 =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(bp + 8));
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(xp, bf16_lo4(v0)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(xp, bf16_hi4(v0)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(xp, bf16_lo4(v1)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(xp, bf16_hi4(v1)));
+      }
+      _mm_storeu_ps(yj, acc0);
+      _mm_storeu_ps(yj + 4, acc1);
+      _mm_storeu_ps(yj + 8, acc2);
+      _mm_storeu_ps(yj + 12, acc3);
+      continue;
+    }
+    for (std::size_t j = 0; j < jw; ++j) {
+      float acc = yj[j];
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += x[p] * bf16_to_f32(panel[p * kW + j]);
+      }
+      yj[j] = acc;
+    }
+  }
+}
+
+void v_gemm_packed_bf16(const float* a, std::size_t m, std::size_t k,
+                        std::size_t lda, const PackedMatrix& b, float* c,
+                        std::size_t ldc) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = b.cols();
+  for (std::size_t pj = 0; pj < b.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const std::uint16_t* panel = b.panel_bf16(pj);
+    for (std::size_t i = 0; i < m; ++i) {
+      __m128 acc0 = _mm_setzero_ps();
+      __m128 acc1 = _mm_setzero_ps();
+      __m128 acc2 = _mm_setzero_ps();
+      __m128 acc3 = _mm_setzero_ps();
+      const float* ai = a + i * lda;
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 va = _mm_set1_ps(ai[p]);
+        const std::uint16_t* bp = panel + p * kW;
+        const __m128i v0 =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(bp));
+        const __m128i v1 =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(bp + 8));
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, bf16_lo4(v0)));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, bf16_hi4(v0)));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, bf16_lo4(v1)));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, bf16_hi4(v1)));
+      }
+      float* ci = c + i * ldc + j0;
+      if (jw == kW) {
+        _mm_storeu_ps(ci, acc0);
+        _mm_storeu_ps(ci + 4, acc1);
+        _mm_storeu_ps(ci + 8, acc2);
+        _mm_storeu_ps(ci + 12, acc3);
+      } else {
+        alignas(16) float tmp[kW];
+        _mm_store_ps(tmp, acc0);
+        _mm_store_ps(tmp + 4, acc1);
+        _mm_store_ps(tmp + 8, acc2);
+        _mm_store_ps(tmp + 12, acc3);
+        for (std::size_t lane = 0; lane < jw; ++lane) ci[lane] = tmp[lane];
+      }
+    }
+  }
+}
+
+// int8 sign-extension ladder: bytes → s16 (unpack+arithmetic shift) → s32 →
+// f32. Conversion to float is exact for |code| ≤ 127.
+struct Int8Lanes {
+  __m128 q0, q1, q2, q3;  // lanes 0-3, 4-7, 8-11, 12-15
+};
+
+inline Int8Lanes int8_widen16(const std::int8_t* bp) {
+  const __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(bp));
+  const __m128i lo16 = _mm_srai_epi16(_mm_unpacklo_epi8(v, v), 8);
+  const __m128i hi16 = _mm_srai_epi16(_mm_unpackhi_epi8(v, v), 8);
+  Int8Lanes out;
+  out.q0 = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpacklo_epi16(lo16, lo16), 16));
+  out.q1 = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpackhi_epi16(lo16, lo16), 16));
+  out.q2 = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpacklo_epi16(hi16, hi16), 16));
+  out.q3 = _mm_cvtepi32_ps(_mm_srai_epi32(_mm_unpackhi_epi16(hi16, hi16), 16));
+  return out;
+}
+
+void v_gemv_accum_packed_int8(const float* x, std::size_t k,
+                              const PackedMatrix& w, float* y) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = w.cols();
+  for (std::size_t pj = 0; pj < w.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const std::int8_t* panel = w.panel_int8(pj);
+    const __m128 scale = _mm_set1_ps(w.panel_scale(pj));
+    float* yj = y + j0;
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    __m128 acc2 = _mm_setzero_ps();
+    __m128 acc3 = _mm_setzero_ps();
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m128 xp = _mm_set1_ps(x[p]);
+      const Int8Lanes q = int8_widen16(panel + p * kW);
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(xp, q.q0));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(xp, q.q1));
+      acc2 = _mm_add_ps(acc2, _mm_mul_ps(xp, q.q2));
+      acc3 = _mm_add_ps(acc3, _mm_mul_ps(xp, q.q3));
+    }
+    if (jw == kW) {
+      _mm_storeu_ps(yj, _mm_add_ps(_mm_loadu_ps(yj),
+                                   _mm_mul_ps(scale, acc0)));
+      _mm_storeu_ps(yj + 4, _mm_add_ps(_mm_loadu_ps(yj + 4),
+                                       _mm_mul_ps(scale, acc1)));
+      _mm_storeu_ps(yj + 8, _mm_add_ps(_mm_loadu_ps(yj + 8),
+                                       _mm_mul_ps(scale, acc2)));
+      _mm_storeu_ps(yj + 12, _mm_add_ps(_mm_loadu_ps(yj + 12),
+                                        _mm_mul_ps(scale, acc3)));
+    } else {
+      alignas(16) float tmp[kW];
+      _mm_store_ps(tmp, _mm_mul_ps(scale, acc0));
+      _mm_store_ps(tmp + 4, _mm_mul_ps(scale, acc1));
+      _mm_store_ps(tmp + 8, _mm_mul_ps(scale, acc2));
+      _mm_store_ps(tmp + 12, _mm_mul_ps(scale, acc3));
+      for (std::size_t lane = 0; lane < jw; ++lane) yj[lane] += tmp[lane];
+    }
+  }
+}
+
+void v_gemm_packed_int8(const float* a, std::size_t m, std::size_t k,
+                        std::size_t lda, const PackedMatrix& b, float* c,
+                        std::size_t ldc) {
+  constexpr std::size_t kW = PackedMatrix::kPanelWidth;
+  const std::size_t n = b.cols();
+  for (std::size_t pj = 0; pj < b.num_panels(); ++pj) {
+    const std::size_t j0 = pj * kW;
+    const std::size_t jw = std::min(kW, n - j0);
+    const std::int8_t* panel = b.panel_int8(pj);
+    const __m128 scale = _mm_set1_ps(b.panel_scale(pj));
+    for (std::size_t i = 0; i < m; ++i) {
+      __m128 acc0 = _mm_setzero_ps();
+      __m128 acc1 = _mm_setzero_ps();
+      __m128 acc2 = _mm_setzero_ps();
+      __m128 acc3 = _mm_setzero_ps();
+      const float* ai = a + i * lda;
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m128 va = _mm_set1_ps(ai[p]);
+        const Int8Lanes q = int8_widen16(panel + p * kW);
+        acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, q.q0));
+        acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, q.q1));
+        acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, q.q2));
+        acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, q.q3));
+      }
+      float* ci = c + i * ldc + j0;
+      alignas(16) float tmp[kW];
+      _mm_store_ps(tmp, _mm_mul_ps(scale, acc0));
+      _mm_store_ps(tmp + 4, _mm_mul_ps(scale, acc1));
+      _mm_store_ps(tmp + 8, _mm_mul_ps(scale, acc2));
+      _mm_store_ps(tmp + 12, _mm_mul_ps(scale, acc3));
+      for (std::size_t lane = 0; lane < jw; ++lane) ci[lane] = tmp[lane];
+    }
+  }
+}
+
 const KernelOps kSse2Ops = {
     .isa = KernelIsa::kSse2,
     .vec_add = v_vec_add,
@@ -194,6 +390,10 @@ const KernelOps kSse2Ops = {
     .gemv_accum = v_gemv_accum,
     .gemv_accum_packed = v_gemv_accum_packed,
     .gemm_packed = v_gemm_packed,
+    .gemv_accum_packed_bf16 = v_gemv_accum_packed_bf16,
+    .gemm_packed_bf16 = v_gemm_packed_bf16,
+    .gemv_accum_packed_int8 = v_gemv_accum_packed_int8,
+    .gemm_packed_int8 = v_gemm_packed_int8,
 };
 
 }  // namespace

@@ -110,6 +110,7 @@ TEST(KernelDispatch, ModeParsingAndNames) {
   EXPECT_STREQ(kernel_isa_name(KernelIsa::kScalar), "scalar");
   EXPECT_STREQ(kernel_isa_name(KernelIsa::kSse2), "sse2");
   EXPECT_STREQ(kernel_isa_name(KernelIsa::kAvx2), "avx2");
+  EXPECT_STREQ(kernel_isa_name(KernelIsa::kAvx512), "avx512");
 }
 
 TEST(KernelDispatch, ScalarModeForcesScalarTier) {
@@ -385,6 +386,197 @@ TEST(KernelTiers, DenormalsSurviveBitExact) {
     ref->vec_axpy(a.data(), 0.5f, denorm.data(), n);
     tier->vec_axpy(b.data(), 0.5f, denorm.data(), n);
     EXPECT_TRUE(bits_equal(a.data(), b.data(), n, "denormal axpy"));
+  }
+}
+
+TEST(KernelTiers, Bf16KernelsBitIdenticalAcrossTiersAndMatchRoundedF32) {
+  // Two anchors per shape: (1) every tier's bf16 kernel matches the scalar
+  // bf16 kernel bit-for-bit (the fixed-precision exactness contract), and
+  // (2) the scalar bf16 kernel IS the f32 kernel over bf16_round(W) — the
+  // dequant is an exact widening, so the chains coincide exactly.
+  const KernelOps* ref = scalar_kernel_ops();
+  for (const std::size_t k : tail_sizes()) {
+    for (const std::size_t n : tail_sizes()) {
+      Matrix w(k, n);
+      const auto wdata = special_data(k * n, 31 * k + n);
+      std::copy(wdata.begin(), wdata.end(), w.data());
+      const auto pw = PackedMatrix::pack(w, Precision::kBf16);
+      Matrix w_rounded(k, n);
+      for (std::size_t i = 0; i < k * n; ++i) {
+        w_rounded.data()[i] = bf16_round(w.data()[i]);
+      }
+      const auto pw_rounded = PackedMatrix::pack(w_rounded);
+      const auto x = special_data(k, 600 + k);
+      const auto y0 = special_data(n, 700 + n);
+
+      auto y_ref = y0;
+      ref->gemv_accum_packed_bf16(x.data(), k, pw, y_ref.data());
+      auto y = y0;
+      ref->gemv_accum_packed(x.data(), k, pw_rounded, y.data());
+      EXPECT_TRUE(bits_equal(y_ref.data(), y.data(), n,
+                             "scalar bf16 vs f32-over-rounded-W"));
+      for (const KernelOps* tier : simd_tiers()) {
+        SCOPED_TRACE(std::string(kernel_isa_name(tier->isa)) + " k=" +
+                     std::to_string(k) + " n=" + std::to_string(n));
+        y = y0;
+        tier->gemv_accum_packed_bf16(x.data(), k, pw, y.data());
+        EXPECT_TRUE(
+            bits_equal(y_ref.data(), y.data(), n, "gemv_accum_packed_bf16"));
+      }
+    }
+  }
+}
+
+TEST(KernelTiers, Bf16GemmBitIdenticalAcrossTiersAndRowTails) {
+  const KernelOps* ref = scalar_kernel_ops();
+  for (const std::size_t m : {1u, 3u, 4u, 5u, 8u, 9u}) {
+    for (const std::size_t k : {1u, 3u, 17u, 33u}) {
+      for (const std::size_t n : {1u, 5u, 16u, 17u, 31u, 129u}) {
+        Matrix a(m, k);
+        const auto adata = special_data(m * k, 3 * m + 10 * k);
+        std::copy(adata.begin(), adata.end(), a.data());
+        Matrix b(k, n);
+        const auto bdata = special_data(k * n, 5 * k + 10 * n);
+        std::copy(bdata.begin(), bdata.end(), b.data());
+        const auto pb = PackedMatrix::pack(b, Precision::kBf16);
+
+        Matrix c_ref(m, n, -7.0f);
+        ref->gemm_packed_bf16(a.data(), m, k, k, pb, c_ref.data(), n);
+        // Anchor: the f32 gemm over the pre-rounded B.
+        Matrix b_rounded(k, n);
+        for (std::size_t i = 0; i < k * n; ++i) {
+          b_rounded.data()[i] = bf16_round(b.data()[i]);
+        }
+        Matrix c_anchor(m, n, 2.0f);
+        ref->gemm_packed(a.data(), m, k, k, PackedMatrix::pack(b_rounded),
+                         c_anchor.data(), n);
+        EXPECT_TRUE(bits_equal(c_ref.data(), c_anchor.data(), m * n,
+                               "bf16 gemm vs f32-over-rounded-B"));
+        for (const KernelOps* tier : simd_tiers()) {
+          SCOPED_TRACE(std::string(kernel_isa_name(tier->isa)) + " m=" +
+                       std::to_string(m) + " k=" + std::to_string(k) +
+                       " n=" + std::to_string(n));
+          Matrix c(m, n, 3.0f);
+          tier->gemm_packed_bf16(a.data(), m, k, k, pb, c.data(), n);
+          EXPECT_TRUE(
+              bits_equal(c_ref.data(), c.data(), m * n, "gemm_packed_bf16"));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTiers, Int8KernelsBitIdenticalAcrossTiers) {
+  // int8 packing rejects non-finite weights, so this axis runs on finite
+  // data; x and the y seed still carry specials (the ACTIVATION operand is
+  // untouched by quantization).
+  const KernelOps* ref = scalar_kernel_ops();
+  for (const std::size_t k : tail_sizes()) {
+    for (const std::size_t n : tail_sizes()) {
+      Matrix w(k, n);
+      const auto wdata = finite_data(k * n, 41 * k + n);
+      std::copy(wdata.begin(), wdata.end(), w.data());
+      const auto pw = PackedMatrix::pack(w, Precision::kInt8);
+      const auto x = special_data(k, 800 + k);
+      const auto y0 = special_data(n, 900 + n);
+
+      auto y_ref = y0;
+      ref->gemv_accum_packed_int8(x.data(), k, pw, y_ref.data());
+      for (const KernelOps* tier : simd_tiers()) {
+        SCOPED_TRACE(std::string(kernel_isa_name(tier->isa)) + " k=" +
+                     std::to_string(k) + " n=" + std::to_string(n));
+        auto y = y0;
+        tier->gemv_accum_packed_int8(x.data(), k, pw, y.data());
+        EXPECT_TRUE(
+            bits_equal(y_ref.data(), y.data(), n, "gemv_accum_packed_int8"));
+      }
+    }
+  }
+}
+
+TEST(KernelTiers, Int8GemmBitIdenticalAcrossTiersAndCloseToF32) {
+  const KernelOps* ref = scalar_kernel_ops();
+  for (const std::size_t m : {1u, 3u, 4u, 5u, 8u, 9u}) {
+    for (const std::size_t k : {1u, 3u, 17u, 33u}) {
+      for (const std::size_t n : {1u, 5u, 17u, 31u, 129u}) {
+        Matrix a(m, k);
+        const auto adata = finite_data(m * k, 7 * m + 11 * k);
+        std::copy(adata.begin(), adata.end(), a.data());
+        Matrix b(k, n);
+        const auto bdata = finite_data(k * n, 13 * k + 17 * n);
+        std::copy(bdata.begin(), bdata.end(), b.data());
+        const auto pb = PackedMatrix::pack(b, Precision::kInt8);
+
+        Matrix c_ref(m, n, -7.0f);
+        ref->gemm_packed_int8(a.data(), m, k, k, pb, c_ref.data(), n);
+        for (const KernelOps* tier : simd_tiers()) {
+          SCOPED_TRACE(std::string(kernel_isa_name(tier->isa)) + " m=" +
+                       std::to_string(m) + " k=" + std::to_string(k) +
+                       " n=" + std::to_string(n));
+          Matrix c(m, n, 3.0f);
+          tier->gemm_packed_int8(a.data(), m, k, k, pb, c.data(), n);
+          EXPECT_TRUE(
+              bits_equal(c_ref.data(), c.data(), m * n, "gemm_packed_int8"));
+        }
+        // Tolerance anchor vs the f32 kernel: per-element quantization
+        // error is <= scale/2, so |Δc| <= Σ_p |a|·(scale/2).
+        Matrix c_f32(m, n);
+        ref->gemm_packed(a.data(), m, k, k, PackedMatrix::pack(b),
+                         c_f32.data(), n);
+        float max_scale = 0;
+        for (std::size_t pj = 0; pj < pb.num_panels(); ++pj) {
+          max_scale = std::max(max_scale, pb.panel_scale(pj));
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          float a_l1 = 0;
+          for (std::size_t p = 0; p < k; ++p) {
+            a_l1 += std::abs(a.at(i, p));
+          }
+          const float budget = a_l1 * max_scale * 0.5f + 1e-5f;
+          for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_LE(std::abs(c_ref.at(i, j) - c_f32.at(i, j)), budget)
+                << "i=" << i << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PublicOps, ReducedPrecisionPackedPathsScalarVsAutoBitIdentical) {
+  // The ops.h dispatch layer routes a packed matrix to the kernel variant
+  // matching its precision(); --kernels=scalar vs auto must agree at every
+  // storage precision (same contract the f32 suite pins above).
+  KernelModeGuard guard;
+  Rng rng(23);
+  const auto a = Matrix::random_uniform(9, 33, rng);
+  const auto b = Matrix::random_uniform(33, 31, rng);
+  const auto x = finite_data(33, 24);
+  for (const Precision precision : {Precision::kBf16, Precision::kInt8}) {
+    SCOPED_TRACE(precision_name(precision));
+    const auto pb = PackedMatrix::pack(b, precision);
+
+    set_kernel_mode(KernelMode::kScalar);
+    Matrix c_scalar;
+    gemm(a, pb, c_scalar);
+    std::vector<float> y_scalar(31);
+    gemv_row(x, pb, y_scalar);
+
+    set_kernel_mode(KernelMode::kAuto);
+    Matrix c_auto;
+    gemm(a, pb, c_auto);
+    std::vector<float> y_auto(31);
+    gemv_row(x, pb, y_auto);
+
+    EXPECT_TRUE(bits_equal(c_scalar.data(), c_auto.data(), c_scalar.size(),
+                           "reduced gemm scalar vs auto"));
+    EXPECT_TRUE(bits_equal(y_scalar.data(), y_auto.data(), 31,
+                           "reduced gemv scalar vs auto"));
+    // And reduced precision genuinely differs from f32 (the panels are
+    // narrowed — identical output would mean the dispatch ignored them).
+    Matrix c_f32;
+    gemm(a, b, c_f32);
+    EXPECT_GT(max_abs_diff(c_f32, c_auto), 0.0f);
   }
 }
 

@@ -184,6 +184,76 @@ TEST(Ops, MaxAbsDiffDetectsChange) {
   EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.0f);
 }
 
+TEST(Ops, GemmPackCacheHitsOnRepeatMissesOnMutation) {
+  gemm_pack_cache_reset();
+  const auto a = random_matrix(7, 5, 20);
+  auto b = random_matrix(5, 9, 21);
+  Matrix c;
+
+  gemm(a, b, c);
+  auto stats = gemm_pack_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Identical B (same pointer, same bits): served from the cache.
+  gemm(a, b, c);
+  stats = gemm_pack_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // In-place mutation keeps the pointer and shape but changes the content
+  // hash: must repack, and the result must reflect the NEW weights.
+  b.at(0, 0) += 2.0f;
+  b.at(4, 8) = -1.25f;
+  gemm(a, b, c);
+  stats = gemm_pack_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_LT(max_abs_diff(c, gemm_reference(a, b)), 1e-5f);
+
+  // The mutated B is now cached under its new hash.
+  gemm(a, b, c);
+  EXPECT_EQ(gemm_pack_cache_stats().hits, 2u);
+}
+
+TEST(Ops, GemmPackCacheHoldsSeveralMatrices) {
+  gemm_pack_cache_reset();
+  const auto a = random_matrix(6, 4, 22);
+  const auto b1 = random_matrix(4, 7, 23);
+  const auto b2 = random_matrix(4, 7, 24);
+  const auto b3 = random_matrix(4, 11, 25);
+  Matrix c;
+  // Alternating B operands must not thrash: each gets its own LRU slot.
+  for (int round = 0; round < 3; ++round) {
+    gemm(a, b1, c);
+    gemm(a, b2, c);
+    gemm(a, b3, c);
+  }
+  const auto stats = gemm_pack_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_LT(max_abs_diff(c, gemm_reference(a, b3)), 1e-5f);
+}
+
+TEST(Ops, GemmParallelLargePathBypassesPackCache) {
+  gemm_pack_cache_reset();
+  const auto a = random_matrix(300, 40, 26);
+  const auto b = random_matrix(40, 30, 27);
+  ThreadPool pool(3);
+  Matrix threaded;
+  gemm(a, b, threaded, &pool);
+  // The >=128-row pooled path packs into a call-local PackedMatrix (cached
+  // entries could be clobbered by stolen unrelated tasks), so the cache
+  // sees no traffic at all.
+  const auto stats = gemm_pack_cache_stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  Matrix serial;
+  gemm(a, b, serial);
+  EXPECT_FLOAT_EQ(max_abs_diff(serial, threaded), 0.0f);
+  EXPECT_EQ(gemm_pack_cache_stats().misses, 1u);
+}
+
 TEST(Ops, MaxAbsDiffShapeMismatchThrows) {
   Matrix a(2, 2);
   Matrix b(2, 3);
