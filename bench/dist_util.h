@@ -88,6 +88,10 @@ struct DistRunMetrics {
   bool comm_measured = false;
   std::size_t wire_bytes = 0;
   std::size_t wire_messages = 0;
+  // ONE rank's resident row state after the run (owned rows + halo +
+  // mailbox shards + row map; see DistEngineBase::memory_bytes) — the
+  // per-rank footprint that must SHRINK as partitions are added.
+  std::size_t rank_memory_bytes = 0;
 };
 
 inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
@@ -114,6 +118,7 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
                          static_cast<double>(batch_size);
   metrics.throughput_ups = total > 0 ? updates / total : 0;
   metrics.median_latency_sec = latencies.empty() ? 0 : median(latencies);
+  metrics.rank_memory_bytes = engine.memory_bytes();
   return metrics;
 }
 

@@ -8,7 +8,11 @@
 #     variant axis already re-runs each case under the scalar tier and the
 #     dispatched tier, so kernels x precision is covered);
 #   * bench_parallel_scaling --quick (end-to-end engine throughput) across
-#     --precision x --kernels.
+#     --precision x --kernels;
+#   * bench_fig12_dist_papers --quick --json (distributed scaling sweep):
+#     throughput, wire traffic, and rank_memory_bytes — the PER-RANK
+#     resident footprint (owned rows + halo), which must shrink as the
+#     partition count grows.
 #
 # Output is one JSON document: header with the machine's dispatched kernel
 # tier + host info, then "runs": the JSON-lines rows scraped verbatim from
@@ -23,7 +27,8 @@ cd "$(dirname "$0")/.."
 build="${BUILD_DIR:-build}"
 out="${1:-BENCH_kernels.json}"
 
-for bin in bench_micro_kernels bench_parallel_scaling; do
+for bin in bench_micro_kernels bench_parallel_scaling \
+           bench_fig12_dist_papers; do
   if [[ ! -x "$build/$bin" ]]; then
     echo "record_bench.sh: $build/$bin not found — build the benches first" \
          "(cmake -B $build -S . && cmake --build $build -j)" >&2
@@ -47,6 +52,9 @@ for precision in f32 bf16 int8; do
       >>"$rows_file" 2>>"$diag_file"
   done
 done
+
+"$build/bench_fig12_dist_papers" --quick --json \
+  >>"$rows_file" 2>>"$diag_file"
 
 # micro_kernels prints "dispatched tier=<isa>" on stderr; that is the
 # machine's auto-dispatch answer (avx512/avx2/sse2/scalar).

@@ -13,9 +13,13 @@ ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
 # un-skips the multi-workload exactness pass over fork-based loopback
 # ranks (tests/dist/test_transport.cpp), so the socket path — framing,
 # barrier, measured timing — is exercised against the bit-exactness
-# contract on every CI run. The wire-precision conformance test
-# (--wire-precision=bf16 halves row payloads, tcp bit-identical to sim)
-# lives in the same suite and therefore runs under this pass too.
+# contract on every CI run. The same pass carries the owned-rows
+# conformance suite (per-rank egress counters summing to sim's totals,
+# leader-side collective gather bit-identical to the assembled owned
+# rows), the halo-cache invalidation tests, and the memory-scaling
+# property (a P=4 rank under half the P=1 footprint) — plus the
+# wire-precision conformance test (--wire-precision=bf16 halves row
+# payloads, tcp bit-identical to sim).
 RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
   -j "$(nproc)"
 

@@ -83,6 +83,12 @@ class RankDeltaSink {
 // idle participants help drain it (nested region, see common/scheduler.h).
 // Null keeps the GEMM serial — the right call for the static runtime, whose
 // nested parallel_for would inline anyway.
+//
+// `local_row` (optional): global→local row remap for partition-owned state.
+// When non-null, agg_cache / h_prev / h_out are indexed with local_row[v]
+// instead of v (the distributed runtime stores only a rank's owned rows);
+// graph degree lookups and the sink keep global vertex ids. Null means the
+// tables are global-row-indexed (single-machine engines).
 template <typename Sink>
 std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
                               const DynamicGraph& graph,
@@ -90,7 +96,8 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
                               Matrix& agg_cache, const Matrix& h_prev,
                               Matrix& h_out, HopShardScratch& scratch,
                               const Sink* sink,
-                              WorkStealingScheduler* scheduler = nullptr) {
+                              WorkStealingScheduler* scheduler = nullptr,
+                              const std::uint32_t* local_row = nullptr) {
   if (shard.size() == 0) return 0;
   const GnnLayer& layer = model.layer(l - 1);
   const std::size_t in_dim = model.config().layer_in_dim(l - 1);
@@ -109,7 +116,8 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
   for (std::size_t i = 0; i < rows; ++i) {
     const std::uint32_t slot = scratch.slots[i];
     const VertexId v = shard.vertices[slot];
-    auto cache_row = agg_cache.row(v);
+    const std::size_t r = local_row != nullptr ? local_row[v] : v;
+    auto cache_row = agg_cache.row(r);
     if (shard.touched[slot]) {
       vec_add(cache_row,
               std::span<const float>(shard.deltas.data() + slot * dim, dim));
@@ -125,7 +133,7 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
         vec_fill(x_row, 0.0f);
       }
     }
-    if (gather_self) vec_copy(h_prev.row(v), scratch.h_self.row(i));
+    if (gather_self) vec_copy(h_prev.row(r), scratch.h_self.row(i));
   }
 
   // One blocked GEMM for the whole shard; on the stealing runtime its row
@@ -136,7 +144,7 @@ std::uint64_t apply_hop_shard(const GnnModel& model, std::size_t l,
   // Hand each vertex's (new, old) rows to the sink, then commit into H^l.
   for (std::size_t i = 0; i < rows; ++i) {
     const VertexId v = shard.vertices[scratch.slots[i]];
-    auto h_row = h_out.row(v);
+    auto h_row = h_out.row(local_row != nullptr ? local_row[v] : v);
     const auto new_row = scratch.out.row(i);
     if (sink != nullptr) (*sink)(v, new_row, h_row);
     vec_copy(new_row, h_row);

@@ -78,7 +78,17 @@ std::size_t StreamingServer::flush() {
 
 void StreamingServer::refresh_labels_and_notify() {
   const std::size_t n = engine_->graph().num_vertices();
-  for (VertexId v = 0; v < n; ++v) {
+  // A batch may GROW the graph. Vertices first seen now have no previous
+  // prediction to diff against: baseline them to their current label
+  // without firing the callback — appearing is not a flip.
+  const std::size_t known = labels_.size();
+  if (n > known) {
+    labels_.resize(n);
+    for (VertexId v = known; v < n; ++v) {
+      labels_[v] = engine_->embeddings().predicted_label(v);
+    }
+  }
+  for (VertexId v = 0; v < known; ++v) {
     const std::uint32_t fresh = engine_->embeddings().predicted_label(v);
     if (fresh != labels_[v]) {
       ++stats_.label_changes;

@@ -127,10 +127,12 @@ inline double serial_phase_cost(const std::vector<double>& per_part,
 }
 
 // Ingress routing: the leader (partition 0) ships the batch to every other
-// replica, one combined message per partition. With one partition nothing
-// touches the wire.
+// rank, one combined message per partition. Only the endpoint hosting the
+// leader transmits (owner routing); with one partition nothing touches the
+// wire.
 inline void route_batch(Transport& transport, UpdateBatch batch) {
   if (transport.num_parts() <= 1 || batch.empty()) return;
+  if (!transport.hosts(0)) return;
   std::size_t batch_bytes = 0;
   for (const GraphUpdate& update : batch) batch_bytes += update.wire_bytes();
   for (std::size_t p = 1; p < transport.num_parts(); ++p) {

@@ -1,10 +1,77 @@
 #include "dist/dist_engine.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
 #include "dist/dist_recompute.h"
 #include "dist/dist_ripple.h"
 
 namespace ripple {
+
+EmbeddingStore gather_owned_store(
+    Transport& transport, const LocalRowMap& rows, const ModelConfig& config,
+    std::size_t num_vertices,
+    const std::function<std::span<const float>(
+        std::size_t part, std::size_t layer, VertexId v)>& owned_row) {
+  const std::size_t num_parts = rows.num_parts();
+  const std::size_t num_layers = config.num_layers;
+  std::size_t concat_width = 0;
+  for (std::size_t l = 0; l <= num_layers; ++l) {
+    concat_width += config.embedding_dim(l);
+  }
+
+  // One collection superstep: every hosted non-leader partition ships each
+  // owned vertex's H^0..H^L rows, concatenated, to the leader. send_exact
+  // keeps the bits intact at any --wire-precision.
+  transport.begin_superstep();
+  std::vector<float> frame(concat_width);
+  for (std::size_t p = 1; p < num_parts; ++p) {
+    if (!transport.hosts(p)) continue;
+    for (const VertexId v : rows.owned(p)) {
+      std::size_t off = 0;
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        const auto row = owned_row(p, l, v);
+        std::copy(row.begin(), row.end(), frame.begin() + off);
+        off += row.size();
+      }
+      RIPPLE_CHECK(off == concat_width);
+      transport.send_exact(p, 0, v, frame);
+    }
+  }
+  transport.end_superstep();
+
+  EmbeddingStore store(config, num_vertices);
+  // Hosted partitions contribute their owned rows directly...
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!transport.hosts(p)) continue;
+    for (const VertexId v : rows.owned(p)) {
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        const auto row = owned_row(p, l, v);
+        auto out = store.layer(l).row(v);
+        std::copy(row.begin(), row.end(), out.begin());
+      }
+    }
+  }
+  // ...and the endpoint hosting the leader scatters everything it received.
+  // (On the hosts-all sim this overwrites rows with identical bits.)
+  if (transport.hosts(0)) {
+    const Transport::Inbox& in = transport.inbox(0);
+    for (const Transport::Message& m : in.messages) {
+      const auto payload = in.payload_of(m);
+      RIPPLE_CHECK(payload.size() == concat_width);
+      std::size_t off = 0;
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        const std::size_t dim = config.embedding_dim(l);
+        auto out = store.layer(l).row(m.sender);
+        std::copy(payload.begin() + off, payload.begin() + off + dim,
+                  out.begin());
+        off += dim;
+      }
+    }
+  }
+  return store;
+}
 
 std::unique_ptr<DistEngineBase> make_dist_engine(
     const std::string& key, const GnnModel& model,

@@ -1,20 +1,31 @@
 // Distributed streaming inference runtime (§5): partition-owned engines
-// driven over a simulated message-passing transport.
+// over per-rank state.
 //
-// Ownership model (owner-computes): the partition owning a vertex is the
-// single writer of its embedding rows, aggregate-cache rows, and mailbox
-// cells. Updates enter at an ingress leader (partition 0) and are routed to
-// the replicas; per hop, each partition drains its own mailbox, and only
-// cross-partition Δh travels over the wire. See src/dist/README.md for the
-// full protocol and the cost model.
+// Ownership model (owner-computes, owned rows): the partition owning a
+// vertex is the single writer of its embedding rows, aggregate-cache rows,
+// and mailbox cells — and those rows exist ONLY at the owning rank, stored
+// densely under a stable global→local row map (partition/LocalRowMap).
+// Remote boundary rows a rank must read live in its halo cache
+// (dist/halo_cache.h), kept coherent by the rows the protocol already
+// ships. Topology stays replicated (every rank applies every batch to its
+// graph copy), which is what lets routing/fill decisions be computed on
+// both sides of the wire without request round-trips. Updates enter at an
+// ingress leader (partition 0); per hop, each rank drains its own mailbox,
+// and only cross-partition rows travel over the wire. Which partitions an
+// endpoint hosts is Transport::hosts(): SimTransport hosts all (whole
+// cluster in one process), TcpTransport hosts exactly its rank. See
+// src/dist/README.md for the full protocol and the cost model.
 //
 // Exactness contract: for ANY partition count and ANY thread count, both
 // engines produce embeddings bit-identical to their single-machine
 // counterparts (RippleEngine / RecomputeEngine) — property-tested in
-// tests/dist/test_dist_engine.cpp.
+// tests/dist/test_dist_engine.cpp and, across real sockets, in
+// tests/dist/test_transport.cpp.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/scheduler.h"
@@ -64,15 +75,27 @@ class DistEngineBase {
   virtual DistBatchResult apply_batch(UpdateBatch batch) = 0;
 
   // Collects every partition's owned rows at the leader (H^0..H^L union).
-  // Wire cost of the gather is not charged to any batch — it is a
+  // This is a COLLECTIVE: every rank of a real transport must call it at
+  // the same point (it runs a superstep of owned-row collection frames).
+  // The leader's returned store holds the full table; a non-leader rank's
+  // store holds only its own owned rows (zeros elsewhere). Rows travel via
+  // Transport::send_exact — never wire-rounded, so leader assembly is
+  // bit-exact at any --wire-precision. The gather's wire cost is charged to
+  // the transport's cumulative counters but to no batch — it is a
   // diagnostic/serving operation outside the streaming loop.
-  virtual EmbeddingStore gather_embeddings() const = 0;
+  virtual EmbeddingStore gather_embeddings() = 0;
 
   virtual const Partition& partition() const = 0;
   virtual const DynamicGraph& graph() const = 0;
   virtual const GnnModel& model() const = 0;
 
-  // Resident bytes across all partitions (embeddings + caches + mailboxes).
+  // Resident bytes of ONE rank's row state: owned embedding rows, aggregate
+  // caches, this rank's mailbox shards, halo cache, and the row map. On a
+  // hosts-all transport (sim) this reports the LARGEST hosted rank's
+  // footprint — the per-machine figure a real deployment would see — so
+  // growing num_parts genuinely shrinks it. The replicated topology is
+  // excluded (it is shared infrastructure, not row state; see
+  // src/dist/README.md).
   virtual std::size_t memory_bytes() const = 0;
 };
 
@@ -99,5 +122,17 @@ std::unique_ptr<DistEngineBase> make_dist_engine(
     const Partition& partition, ThreadPool* pool,
     std::unique_ptr<Transport> transport,
     SchedulerMode scheduler = SchedulerMode::kSteal);
+
+// Shared gather_embeddings() implementation: every hosted non-leader
+// partition ships its owned rows (H^0..H^L concatenated per vertex) to the
+// leader over send_exact; the returned store holds the hosted partitions'
+// rows plus — at the endpoint hosting the leader — everything received.
+// `owned_row(part, layer, v)` must return the hosted partition's committed
+// row of v (v is a global id, owned by `part`).
+EmbeddingStore gather_owned_store(
+    Transport& transport, const LocalRowMap& rows, const ModelConfig& config,
+    std::size_t num_vertices,
+    const std::function<std::span<const float>(
+        std::size_t part, std::size_t layer, VertexId v)>& owned_row);
 
 }  // namespace ripple

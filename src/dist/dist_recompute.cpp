@@ -7,7 +7,8 @@
 #include "dist/bsp.h"
 #include "infer/affected.h"
 #include "infer/layerwise.h"
-#include "infer/recompute.h"
+#include "stream/update.h"
+#include "tensor/ops.h"
 
 namespace ripple {
 
@@ -19,7 +20,7 @@ DistRecomputeEngine::DistRecomputeEngine(const GnnModel& model,
                                          SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
-      store_(model.config(), graph_.num_vertices()),
+      row_map_(partition_, graph_.num_vertices()),
       transport_(std::move(transport)), pool_(pool) {
   if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
     stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
@@ -28,13 +29,28 @@ DistRecomputeEngine::DistRecomputeEngine(const GnnModel& model,
   RIPPLE_CHECK_MSG(partition_.num_vertices() <= graph_.num_vertices(),
                    "partition covers more vertices than the snapshot");
   const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
   x_scratch_.resize(num_parts);
-  fetch_stamp_.resize(num_parts);
-  for (auto& stamp : fetch_stamp_) {
-    stamp.assign(graph_.num_vertices(), 0);
+  pull_index_.resize(num_parts);
+
+  // Transient full bootstrap over the replicated topology, then scatter
+  // each hosted partition's owned rows; the full tables are freed when the
+  // constructor returns, so steady-state residency is per-rank.
+  EmbeddingStore full(model_.config(), graph_.num_vertices());
+  full.features() = features;
+  layerwise_full_inference(model_, graph_, full, pool_);
+  states_.resize(num_parts);
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    EmbeddingStore& st = states_[p];
+    st = EmbeddingStore(model_.config(), row_map_.part_size(p));
+    const std::vector<VertexId>& owned = row_map_.owned(p);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        vec_copy(full.layer(l).row(owned[i]), st.layer(l).row(i));
+      }
+    }
   }
-  store_.features() = features;
-  layerwise_full_inference(model_, graph_, store_, pool_);
 }
 
 DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
@@ -51,10 +67,33 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   if (stealer_ != nullptr) stealer_->reset_stats();
 
   // ---- superstep U: ingress routing + replica update application ----
+  // Every endpoint applies the batch to its topology replica; feature rows
+  // commit only into the hosting owner's H^0 (the same guards
+  // infer/recompute.cpp's apply_updates_to_graph uses).
   transport_->begin_superstep();
   route_batch(*transport_, batch);
   StopWatch update_watch;
-  apply_updates_to_graph(graph_, store_.features(), batch);
+  for (const GraphUpdate& update : batch) {
+    switch (update.kind) {
+      case UpdateKind::edge_add:
+        graph_.add_edge(update.u, update.v, update.weight);
+        break;
+      case UpdateKind::edge_del:
+        graph_.remove_edge(update.u, update.v);
+        break;
+      case UpdateKind::vertex_feature: {
+        RIPPLE_CHECK_MSG(
+            update.new_features.size() == model_.config().feat_dim,
+            "feature width mismatch");
+        const std::uint32_t pu = owner(update.u);
+        if (hosts(pu)) {
+          vec_copy(update.new_features,
+                   states_[pu].features().row(row_map_.local_of(update.u)));
+        }
+        break;
+      }
+    }
+  }
   result.compute_sec += update_watch.elapsed_sec();
   result.comm_sec += transport_->end_superstep();
 
@@ -63,44 +102,73 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   const auto affected = compute_affected_sets(graph_, batch,
                                               model_.num_layers(), uses_self);
   for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-    const Matrix& h_prev = store_.layer(l);
-    Matrix& h_out = store_.layer(l + 1);
-    const std::size_t row_bytes =
-        transport_->row_wire_bytes(model_.config().embedding_dim(l));
-
     // Halo pulls: every remote in-neighbor of an owned affected vertex is
-    // fetched once per requesting partition this hop.
+    // shipped once per requesting partition this hop — the OWNER pushes its
+    // committed row (both sides derive the identical pull set from the
+    // replicated topology, so no request round-trip exists).
     transport_->begin_superstep();
-    ++fetch_epoch_;
+    pulled_.clear();
     for (const VertexId v : affected[l]) {
       const std::uint32_t p = owner(v);
-      auto& stamp = fetch_stamp_[p];
       for (const Neighbor& nb : graph_.in_neighbors(v)) {
         const std::uint32_t pu = owner(nb.vertex);
-        if (pu == p || stamp[nb.vertex] == fetch_epoch_) continue;
-        stamp[nb.vertex] = fetch_epoch_;
-        transport_->send_opaque(pu, p, row_bytes);
+        if (pu == p) continue;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(nb.vertex) * num_parts + p;
+        if (!pulled_.insert(key).second) continue;
+        if (!hosts(pu)) continue;
+        transport_->send(pu, p, nb.vertex,
+                         states_[pu].layer(l).row(row_map_.local_of(nb.vertex)));
       }
     }
     result.comm_sec += transport_->end_superstep();
 
-    // Owned recompute: identical per-row work to single-machine RC; rows
+    // Index the received rows by sender for the aggregation resolver.
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      if (!hosts(p)) continue;
+      pull_index_[p].clear();
+      const Transport::Inbox& inbox = transport_->inbox(p);
+      for (const Transport::Message& m : inbox.messages) {
+        pull_index_[p][m.sender] = inbox.payload_of(m).data();
+      }
+    }
+
+    // Owned recompute: identical per-row float work to single-machine RC
+    // (the resolver variant replays aggregate_neighbors' op sequence); rows
     // are independent, so neither the partition split nor the scheduler
     // can change the bits.
-    const auto recompute_row = [&](VertexId v, std::vector<float>& x_scratch) {
-      aggregate_neighbors(model_.config().aggregator, graph_.in_neighbors(v),
-                          h_prev, x_scratch);
-      model_.layer(l).update_row(h_prev.row(v), x_scratch, h_out.row(v));
-      model_.apply_activation_row(l, h_out.row(v));
+    const auto recompute_row = [&](std::size_t p, VertexId v,
+                                   std::vector<float>& x_scratch) {
+      EmbeddingStore& st = states_[p];
+      const auto& pulls = pull_index_[p];
+      const auto row_of = [&](VertexId u) -> const float* {
+        if (owner(u) == p) {
+          return st.layer(l).row(row_map_.local_of(u)).data();
+        }
+        const auto it = pulls.find(u);
+        RIPPLE_CHECK_MSG(it != pulls.end(),
+                         "missing pulled row for vertex " << u);
+        return it->second;
+      };
+      aggregate_neighbors_resolved(model_.config().aggregator,
+                                   graph_.in_neighbors(v), row_of,
+                                   std::span<float>(x_scratch));
+      const std::uint32_t r = row_map_.local_of(v);
+      model_.layer(l).update_row(st.layer(l).row(r), x_scratch,
+                                 st.layer(l + 1).row(r));
+      model_.apply_activation_row(l, st.layer(l + 1).row(r));
     };
     if (stealer_ != nullptr) {
-      // One stealable task per block of a partition's owned affected
+      // One stealable task per block of a hosted partition's owned affected
       // vertices, costed by Σ in-degree — the pull work InkStream observes
       // is concentrated on a few high-degree vertices. A hot partition's
       // endpoint is the W-worker makespan bound over its blocks
       // (dist/bsp.h).
       std::vector<std::vector<VertexId>> owned(num_parts);
-      for (const VertexId v : affected[l]) owned[owner(v)].push_back(v);
+      for (const VertexId v : affected[l]) {
+        const std::uint32_t p = owner(v);
+        if (hosts(p)) owned[p].push_back(v);
+      }
       constexpr std::size_t kBlock = 64;
       struct Block {
         std::uint32_t part;
@@ -129,7 +197,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
             std::vector<float>& x_scratch = block_scratch_[i];
             x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
             for (std::size_t j = block.lo; j < block.hi; ++j) {
-              recompute_row(owned[block.part][j], x_scratch);
+              recompute_row(block.part, owned[block.part][j], x_scratch);
             }
           },
           timing);
@@ -137,11 +205,12 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
       result.compute_sec += timed_over_parts(
           pool_, num_parts,
           [&](std::size_t p) {
+            if (!hosts(p)) return;
             auto& x_scratch = x_scratch_[p];
             x_scratch.assign(model_.config().layer_in_dim(l), 0.0f);
             for (const VertexId v : affected[l]) {
               if (owner(v) != p) continue;
-              recompute_row(v, x_scratch);
+              recompute_row(p, v, x_scratch);
             }
           },
           timing);
@@ -155,12 +224,25 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   return result;
 }
 
+EmbeddingStore DistRecomputeEngine::gather_embeddings() {
+  return gather_owned_store(
+      *transport_, row_map_, model_.config(), graph_.num_vertices(),
+      [this](std::size_t p, std::size_t l, VertexId v) {
+        return std::span<const float>(
+            states_[p].layer(l).row(row_map_.local_of(v)));
+      });
+}
+
 std::size_t DistRecomputeEngine::memory_bytes() const {
-  std::size_t total = store_.bytes() + graph_.bytes();
-  for (const auto& stamp : fetch_stamp_) {
-    total += stamp.capacity() * sizeof(std::uint32_t);
+  // One rank's row state: the LARGEST hosted partition's footprint (per
+  // the DistEngineBase contract) plus the shared row map. The replicated
+  // topology is deliberately excluded — see src/dist/README.md.
+  std::size_t worst = 0;
+  for (std::size_t p = 0; p < states_.size(); ++p) {
+    if (!transport_->hosts(p)) continue;
+    worst = std::max(worst, states_[p].bytes());
   }
-  return total;
+  return worst + row_map_.bytes();
 }
 
 }  // namespace ripple

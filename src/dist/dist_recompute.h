@@ -1,18 +1,28 @@
 // Distributed full-recompute baseline (§5): RC promoted to partition-owned
-// execution.
+// execution over per-rank rows.
 //
-// Per hop, every partition recomputes the embeddings of its OWNED affected
-// vertices by pulling ALL of their in-neighbors' previous-layer rows — and
-// every in-neighbor owned elsewhere must be fetched over the wire (once per
-// requesting partition per hop). This is the communication profile the
-// paper contrasts with Ripple's delta shipping: the pull set grows with the
-// affected frontier and the full embedding width, not with the changed set.
+// Each hosted partition stores ONLY its owned vertices' embedding rows,
+// addressed through the stable global→local row map (partition/
+// LocalRowMap); topology stays replicated. Per hop, every partition
+// recomputes the embeddings of its OWNED affected vertices by pulling ALL
+// of their in-neighbors' previous-layer rows — and every in-neighbor owned
+// elsewhere arrives as a payload row over the wire (once per requesting
+// partition per hop), resolved during aggregation through a per-hop pull
+// index. Both sides derive the pull set from the replicated topology, so
+// the owner pushes without a request round-trip. This is the communication
+// profile the paper contrasts with Ripple's delta shipping: the pull set
+// grows with the affected frontier and the full embedding width, not with
+// the changed set.
 //
 // Exactness: each recomputed row is the same pure function of the same
-// inputs as single-machine RecomputeEngine evaluates, so embeddings are
-// bit-identical to RC for any partition count and any thread count.
+// inputs as single-machine RecomputeEngine evaluates — the row-resolver
+// aggregation (gnn/aggregator.h) replays the identical float op sequence
+// over scattered storage — so embeddings are bit-identical to RC for any
+// partition count and any thread count.
 #pragma once
 
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dist/dist_engine.h"
@@ -28,7 +38,7 @@ class DistRecomputeEngine : public DistEngineBase {
 
   const char* name() const override { return "dist-RC"; }
   DistBatchResult apply_batch(UpdateBatch batch) override;
-  EmbeddingStore gather_embeddings() const override { return store_; }
+  EmbeddingStore gather_embeddings() override;
   const Partition& partition() const override { return partition_; }
   const DynamicGraph& graph() const override { return graph_; }
   const GnnModel& model() const override { return model_; }
@@ -36,11 +46,15 @@ class DistRecomputeEngine : public DistEngineBase {
 
  private:
   std::uint32_t owner(VertexId v) const { return partition_.part_of(v); }
+  bool hosts(std::size_t part) const { return transport_->hosts(part); }
 
   GnnModel model_;
   DynamicGraph graph_;  // replicated topology (one shared copy in-process)
   Partition partition_;
-  EmbeddingStore store_;  // union of owned rows; single writer = owner
+  LocalRowMap row_map_;  // stable global→local owned-row addressing
+  // Per partition, the owned H^0..H^L rows (local-row indexed); non-hosted
+  // slots stay default-constructed and empty.
+  std::vector<EmbeddingStore> states_;
   std::unique_ptr<Transport> transport_;  // engine code sees only the iface
   ThreadPool* pool_;
   // Work-stealing runtime for the recompute phase (null = static
@@ -49,15 +63,17 @@ class DistRecomputeEngine : public DistEngineBase {
   // W-worker makespan bound (dist/bsp.h).
   std::unique_ptr<WorkStealingScheduler> stealer_;
 
-  // Per-partition scratch: the pull buffer and the fetch-dedup epoch stamp
-  // (a remote row is fetched once per partition per hop).
+  // Per-partition scratch: the aggregation buffer.
   std::vector<std::vector<float>> x_scratch_;
   // Steal-path pull buffers, one per block task (tasks of one region must
   // not share); grown on demand, capacity reused across batches so the hot
   // loop stays allocation-free after warm-up.
   std::vector<std::vector<float>> block_scratch_;
-  std::vector<std::vector<std::uint32_t>> fetch_stamp_;
-  std::uint32_t fetch_epoch_ = 0;
+  // Pull bookkeeping, rebuilt per hop: the (vertex, destination) pairs
+  // already shipped this hop, and — per hosted partition — the received
+  // remote rows keyed by sender for the aggregation resolver.
+  std::unordered_set<std::uint64_t> pulled_;
+  std::vector<std::unordered_map<VertexId, const float*>> pull_index_;
 };
 
 }  // namespace ripple

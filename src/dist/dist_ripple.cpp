@@ -24,7 +24,7 @@ DistRippleEngine::DistRippleEngine(const GnnModel& model,
                                    SchedulerMode scheduler)
     : model_(model), graph_(std::move(snapshot)),
       partition_(std::move(partition)),
-      store_(model.config(), graph_.num_vertices()),
+      row_map_(partition_, graph_.num_vertices()),
       transport_(std::move(transport)), pool_(pool) {
   if (pool_ != nullptr && scheduler == SchedulerMode::kSteal) {
     stealer_ = std::make_unique<WorkStealingScheduler>(pool_);
@@ -37,22 +37,62 @@ DistRippleEngine::DistRippleEngine(const GnnModel& model,
                    "partition covers more vertices than the snapshot");
   const std::size_t num_parts = partition_.num_parts();
   const std::size_t num_layers = model_.num_layers();
-  mailboxes_.reserve(num_parts * num_layers);
+  const ModelConfig& config = model_.config();
+
+  // Transient full bootstrap over the replicated topology, then scatter:
+  // each hosted partition keeps only its owned rows (plus halo copies of
+  // the remote boundary rows it will read); the full tables are freed when
+  // this constructor returns, so steady-state residency is per-rank.
+  EmbeddingStore full(config, graph_.num_vertices());
+  full.features() = features;
+  std::vector<Matrix> full_cache;
+  bootstrap_with_caches(model_, graph_, full, full_cache, pool_);
+  const HaloIndex halo_index = build_halo_index(graph_, partition_);
+
+  std::vector<std::size_t> halo_widths(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    halo_widths[l] = config.embedding_dim(l);
+  }
+  states_.resize(num_parts);
   for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    RankState& st = states_[p];
+    const std::size_t rows = row_map_.part_size(p);
+    st.store = EmbeddingStore(config, rows);
+    st.agg_cache.reserve(num_layers);
+    st.boxes.reserve(num_layers);
     for (std::size_t l = 0; l < num_layers; ++l) {
-      mailboxes_.emplace_back(model_.config().layer_in_dim(l),
-                              kShardsPerPart);
+      st.agg_cache.emplace_back(rows, config.layer_in_dim(l));
+      st.boxes.emplace_back(config.layer_in_dim(l), kShardsPerPart);
+    }
+    st.halo = HaloCache(halo_widths);
+    const std::vector<VertexId>& owned = row_map_.owned(p);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      const VertexId v = owned[i];
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        vec_copy(full.layer(l).row(v), st.store.layer(l).row(i));
+      }
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        vec_copy(full_cache[l].row(v), st.agg_cache[l].row(i));
+      }
+    }
+    // Bootstrap halo: every remote vertex with an edge into p's owned set.
+    for (const VertexId u : halo_index.halo_in[p]) {
+      st.halo.ensure(u);
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        vec_copy(full.layer(l).row(u), st.halo.row(u, l));
+      }
     }
   }
+
   // One scratch per (partition, shard): with the stealing scheduler a
   // partition's shard drains run concurrently, so they cannot share.
   scratch_.resize(num_parts * kShardsPerPart);
   senders_.resize(num_parts);
   delta_.resize(num_parts);
+  inbox_delta_.resize(num_parts);
   merge_.resize(num_parts);
   remote_mask_.resize(num_parts);
-  store_.features() = features;
-  bootstrap_with_caches(model_, graph_, store_, agg_cache_, pool_);
 }
 
 float DistRippleEngine::edge_alpha(EdgeWeight weight) const {
@@ -61,16 +101,22 @@ float DistRippleEngine::edge_alpha(EdgeWeight weight) const {
              : 1.0f;
 }
 
-void DistRippleEngine::seed_edge_messages(VertexId u, VertexId v,
-                                          EdgeWeight weight, bool is_add) {
+void DistRippleEngine::record_edge_op(VertexId u, VertexId v,
+                                      EdgeWeight weight, bool is_add) {
   const std::uint32_t pu = owner(u);
   const std::uint32_t pv = owner(v);
+  UOp op;
+  op.kind = is_add ? UpdateKind::edge_add : UpdateKind::edge_del;
+  op.u = u;
+  op.v = v;
+  op.alpha = edge_alpha(weight);
+  op.is_add = is_add;
   if (pu != pv && is_add) {
-    // Halo fetch — only when this add puts u into pv's halo for the first
-    // time. While any u->pv edge exists, pv's halo copy of u's rows stays
-    // fresh for free: the exchange ships u's Δh to pv whenever u changes.
-    // Deletions therefore never fetch (the copy is already local), and
-    // repeated adds toward the same partition dedupe naturally.
+    // Halo fill — only when this add puts u into pv's halo for the first
+    // time. While any u→pv edge exists, pv's cached copy of u's rows stays
+    // fresh for free: the exchange ships u's committed rows to pv whenever
+    // u changes. Deletions therefore never fill, and repeated adds toward
+    // the same partition dedupe naturally.
     bool haloed = false;
     for (const Neighbor& nb : graph_.out_neighbors(u)) {
       if (nb.vertex != v && owner(nb.vertex) == pv) {
@@ -78,63 +124,196 @@ void DistRippleEngine::seed_edge_messages(VertexId u, VertexId v,
         break;
       }
     }
-    if (!haloed) {
-      std::size_t bytes = 0;
+    op.fill_expected = !haloed;
+    if (op.fill_expected && hosts(pu)) {
+      // One message carrying the owner's H^0..H^{L-1} rows concatenated —
+      // row_wire_bytes-shaped, like every other row transfer.
+      const RankState& st = states_[pu];
+      wire_frame_.clear();
       for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-        bytes += transport_->row_wire_bytes(model_.config().embedding_dim(l));
+        const auto row = st.store.layer(l).row(local(u));
+        wire_frame_.insert(wire_frame_.end(), row.begin(), row.end());
       }
-      transport_->send_opaque(pu, pv, bytes);
+      transport_->send(pu, pv, u, wire_frame_);
     }
-  }
-  const float alpha = edge_alpha(weight);
-  for (std::size_t l = 1; l <= model_.num_layers(); ++l) {
-    const auto h_u = store_.layer(l - 1).row(u);
-    if (is_add) {
-      mailbox(pv, l).accumulate(v, alpha, h_u, {});
-    } else {
-      mailbox(pv, l).accumulate(v, alpha, {}, h_u);
+  } else if (pu != pv) {
+    // Eager invalidation: when the LAST cut edge u→pv disappears, pv's
+    // cached rows of u stop being refreshed and must go. Decided here at
+    // walk position (post-removal scan); the replay erases AFTER seeding
+    // the nullify message, which still reads the cached rows.
+    bool haloed = false;
+    for (const Neighbor& nb : graph_.out_neighbors(u)) {
+      if (owner(nb.vertex) == pv) {
+        haloed = true;
+        break;
+      }
     }
+    op.erase_after = !haloed;
+  } else if (hosts(pu)) {
+    // Same-partition edge: snapshot u's H^0 at walk position — a later
+    // feature commit in this batch would overwrite the owned row before
+    // the replay reaches this op. Layers ≥ 1 are static during superstep U
+    // and are read live at replay.
+    const auto x = states_[pu].store.features().row(local(u));
+    op.x_src.assign(x.begin(), x.end());
   }
+  uops_.push_back(std::move(op));
 }
 
-void DistRippleEngine::apply_feature_update(const GraphUpdate& update) {
-  RIPPLE_CHECK_MSG(update.new_features.size() == store_.features().cols(),
+void DistRippleEngine::record_feature_op(const GraphUpdate& update) {
+  RIPPLE_CHECK_MSG(update.new_features.size() == model_.config().feat_dim,
                    "feature width mismatch");
   const VertexId u = update.u;
   const std::uint32_t pu = owner(u);
-  // One combined (x_new, x_old) message per remote partition owning at
-  // least one out-neighbor; local sinks are seeded for free.
-  for_each_remote_owner(u, pu, [&](std::size_t p) {
-    transport_->send_opaque(
-        pu, p, transport_->row_wire_bytes(2 * update.new_features.size()));
-  });
-  const auto old_row = store_.features().row(u);
+  UOp op;
+  op.kind = UpdateKind::vertex_feature;
+  op.u = u;
+  op.x_new = &update.new_features;
+  op.self_mark = model_.layer(0).uses_self();
   for (const Neighbor& nb : graph_.out_neighbors(u)) {
-    mailbox(owner(nb.vertex), 1)
-        .accumulate(nb.vertex, edge_alpha(nb.weight), update.new_features,
-                    old_row);
+    op.sinks.push_back({nb.vertex, edge_alpha(nb.weight)});
   }
-  if (model_.layer(0).uses_self()) {
-    mailbox(pu, 1).mark_self_changed(u);
+  if (hosts(pu)) {
+    auto owned_row = states_[pu].store.features().row(local(u));
+    op.x_old.assign(owned_row.begin(), owned_row.end());
+    // One combined (x_new, x_old) message per remote partition owning at
+    // least one sink; its receipt both seeds the remote cells and
+    // write-through-refreshes u's halo H^0 row there.
+    wire_frame_.clear();
+    wire_frame_.insert(wire_frame_.end(), update.new_features.begin(),
+                       update.new_features.end());
+    wire_frame_.insert(wire_frame_.end(), op.x_old.begin(), op.x_old.end());
+    for_each_remote_owner(u, pu, [&](std::size_t q) {
+      transport_->send(pu, q, u, wire_frame_);
+    });
+    // Commit the new H^0 at walk position: later walk reads of u's
+    // features must see it, exactly like the single-machine engine.
+    vec_copy(update.new_features, owned_row);
   }
-  vec_copy(update.new_features, store_.features().row(u));
+  uops_.push_back(std::move(op));
 }
 
-double DistRippleEngine::update_phase(UpdateBatch batch) {
-  route_batch(*transport_, batch);
-  // Every replica applies the batch to its topology copy concurrently; the
-  // serial wall time below is one replica's worth of work, i.e. the modeled
-  // parallel cost. The shared update operator preserves batch order, so
-  // each mailbox cell accumulates its seeds in exactly the single-machine
-  // order.
-  StopWatch watch;
-  apply_updates_seeding(
-      graph_, batch,
-      [this](VertexId u, VertexId v, EdgeWeight weight, bool is_add) {
-        seed_edge_messages(u, v, weight, is_add);
-      },
-      [this](const GraphUpdate& update) { apply_feature_update(update); });
-  return watch.elapsed_sec();
+void DistRippleEngine::replay_uops() {
+  const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
+  const std::size_t feat_dim = model_.config().feat_dim;
+  // Per hosted partition: FIFO cursors over the inbox, one queue per source
+  // partition. A sim inbox interleaves sources in walk order while a tcp
+  // inbox groups messages by source rank; each (source → destination)
+  // subsequence is identical on both, so consumption goes through these
+  // queues — never by inbox position.
+  std::vector<std::vector<std::vector<std::uint32_t>>> fifo(num_parts);
+  std::vector<std::vector<std::size_t>> next(num_parts);
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    fifo[p].resize(num_parts);
+    next[p].assign(num_parts, 0);
+    const Transport::Inbox& inbox = transport_->inbox(p);
+    for (std::size_t i = 0; i < inbox.messages.size(); ++i) {
+      fifo[p][inbox.messages[i].src_part].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  const auto pop_msg = [&](std::size_t dst,
+                           std::size_t src) -> const Transport::Message& {
+    auto& queue = fifo[dst][src];
+    std::size_t& cursor = next[dst][src];
+    RIPPLE_CHECK_MSG(cursor < queue.size(),
+                     "superstep U underflow: partition "
+                         << dst << " expected another message from " << src);
+    return transport_->inbox(dst).messages[queue[cursor++]];
+  };
+
+  for (const UOp& op : uops_) {
+    if (op.kind == UpdateKind::vertex_feature) {
+      const std::uint32_t pu = owner(op.u);
+      // Hosted owner seeds its own sinks from the unrounded local rows.
+      if (hosts(pu)) {
+        for (const auto& [sink, alpha] : op.sinks) {
+          if (owner(sink) != pu) continue;
+          mailbox(pu, 1).accumulate(sink, alpha, *op.x_new, op.x_old);
+        }
+        if (op.self_mark) mailbox(pu, 1).mark_self_changed(op.u);
+      }
+      // Hosted remote sink owners consume the (x_new, x_old) message, seed
+      // their cells in recorded walk order, and refresh u's halo H^0 row
+      // with the received bits.
+      for (std::size_t q = 0; q < num_parts; ++q) {
+        if (q == pu || !hosts(q)) continue;
+        bool owns_sink = false;
+        for (const auto& [sink, alpha] : op.sinks) {
+          (void)alpha;
+          if (owner(sink) == q) {
+            owns_sink = true;
+            break;
+          }
+        }
+        if (!owns_sink) continue;
+        const Transport::Message& m = pop_msg(q, pu);
+        RIPPLE_CHECK(m.sender == op.u);
+        const auto payload = transport_->inbox(q).payload_of(m);
+        RIPPLE_CHECK(payload.size() == 2 * feat_dim);
+        const auto x_new = payload.subspan(0, feat_dim);
+        const auto x_old = payload.subspan(feat_dim, feat_dim);
+        for (const auto& [sink, alpha] : op.sinks) {
+          if (owner(sink) != q) continue;
+          mailbox(q, 1).accumulate(sink, alpha, x_new, x_old);
+        }
+        states_[q].halo.ensure(op.u);
+        vec_copy(x_new, states_[q].halo.row(op.u, 0));
+      }
+      continue;
+    }
+
+    // Edge op: seed the nullify/insert messages at the sink's owner.
+    const std::uint32_t pu = owner(op.u);
+    const std::uint32_t pv = owner(op.v);
+    if (!hosts(pv)) continue;
+    RankState& st = states_[pv];
+    if (pu != pv && op.fill_expected) {
+      const Transport::Message& m = pop_msg(pv, pu);
+      RIPPLE_CHECK(m.sender == op.u);
+      const auto payload = transport_->inbox(pv).payload_of(m);
+      st.halo.ensure(op.u);
+      std::size_t off = 0;
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        auto row = st.halo.row(op.u, l);
+        vec_copy(payload.subspan(off, row.size()), row);
+        off += row.size();
+      }
+      RIPPLE_CHECK(off == payload.size());
+    }
+    for (std::size_t l = 1; l <= num_layers; ++l) {
+      std::span<const float> h_u;
+      if (pu != pv) {
+        // Replay runs in batch order, so the halo rows reflect exactly the
+        // walk-position values (fills and feature refreshes land before
+        // the ops that read them).
+        h_u = st.halo.row(op.u, l - 1);
+      } else if (l == 1) {
+        h_u = op.x_src;
+      } else {
+        h_u = std::span<const float>(
+            states_[pu].store.layer(l - 1).row(local(op.u)));
+      }
+      if (op.is_add) {
+        mailbox(pv, l).accumulate(op.v, op.alpha, h_u, {});
+      } else {
+        mailbox(pv, l).accumulate(op.v, op.alpha, {}, h_u);
+      }
+    }
+    if (op.erase_after) st.halo.erase(op.u);
+  }
+
+  // Every message must have been claimed by exactly one replayed op.
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    for (std::size_t src = 0; src < num_parts; ++src) {
+      RIPPLE_CHECK_MSG(next[p][src] == fifo[p][src].size(),
+                       "superstep U leftovers: partition "
+                           << p << " holds unconsumed messages from " << src);
+    }
+  }
 }
 
 DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
@@ -151,27 +330,49 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
   result.comm_measured = transport_->measures_time();
   if (stealer_ != nullptr) stealer_->reset_stats();
 
-  // ---- superstep U: routing + halo fetches + hop-0 seeding ----
+  // ---- superstep U: routing + fills/feature rows + hop-0 seeding ----
+  // Pass 1 walks the batch (every replica applies it to its topology copy)
+  // recording ops and transmitting for hosted source partitions; after the
+  // barrier, pass 2 replays the record in batch order against the inbox, so
+  // each mailbox cell accumulates its seeds in exactly the single-machine
+  // order on every backend.
   transport_->begin_superstep();
-  result.compute_sec += update_phase(batch);
+  route_batch(*transport_, batch);
+  StopWatch pass1_watch;
+  uops_.clear();
+  apply_updates_seeding(
+      graph_, batch,
+      [this](VertexId u, VertexId v, EdgeWeight weight, bool is_add) {
+        record_edge_op(u, v, weight, is_add);
+      },
+      [this](const GraphUpdate& update) { record_feature_op(update); });
+  result.compute_sec += pass1_watch.elapsed_sec();
   result.comm_sec += transport_->end_superstep();
+  StopWatch pass2_watch;
+  replay_uops();
+  result.compute_sec += pass2_watch.elapsed_sec();
 
   // ---- hops 1..L: apply / exchange / seed supersteps ----
+  // Every hop runs its supersteps even when this endpoint has no pending
+  // cells: remote mailboxes may still produce rows for it, and the barrier
+  // structure must be identical on every rank. Empty phases cost nothing
+  // (an empty superstep models 0.0 seconds).
   for (std::size_t l = 1; l <= num_layers; ++l) {
     std::size_t hop_cells = 0;
     for (std::size_t p = 0; p < num_parts; ++p) {
+      if (!hosts(p)) continue;
       hop_cells += mailbox(p, l).size();
     }
     result.propagation_tree_size += hop_cells;
     if (l == num_layers) result.affected_final = hop_cells;
-    if (hop_cells == 0) continue;
     const bool is_last = l == num_layers;
     const std::size_t delta_dim = model_.config().layer_out_dim(l - 1);
 
-    // Apply: every partition drains its own mailbox with the shared hop
-    // kernel; Δh lands at each vertex's rank in the partition's sorted
-    // sender list. Owner-computes: partitions write disjoint rows, and
-    // within a partition shards hold disjoint vertices — so the drains are
+    // Apply: every hosted partition drains its own mailbox with the shared
+    // hop kernel, addressing its owned rows through the local row map; Δh
+    // lands at each vertex's rank in the partition's sorted sender list.
+    // Owner-computes: partitions write disjoint rows, and within a
+    // partition shards hold disjoint vertices — so the drains are
     // independent tasks no matter which worker runs them.
     // No nested GEMM stealing here (scheduler = nullptr): each drain is a
     // per-task-billed body under timed_over_part_tasks, and a nested region
@@ -180,14 +381,16 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
     // endpoint. Intra-partition parallelism is already modeled by the
     // W-worker makespan bound.
     const auto drain_shard = [&](std::size_t p, std::size_t s) {
-      Mailbox& box = mailbox(p, l);
+      RankState& st = states_[p];
+      Mailbox& box = st.boxes[l - 1];
       const Mailbox::Shard& shard = box.shard(s);
       if (shard.size() == 0) return;
       const RankDeltaSink sink(senders_[p], delta_[p]);
-      apply_hop_shard(model_, l, graph_, shard, box.dim(), agg_cache_[l - 1],
-                      store_.layer(l - 1), store_.layer(l),
-                      scratch_[p * kShardsPerPart + s],
-                      is_last ? nullptr : &sink);
+      apply_hop_shard(model_, l, graph_, shard, box.dim(),
+                      st.agg_cache[l - 1], st.store.layer(l - 1),
+                      st.store.layer(l), scratch_[p * kShardsPerPart + s],
+                      is_last ? nullptr : &sink, nullptr,
+                      row_map_.local_rows());
     };
     if (stealer_ != nullptr) {
       // Per-partition prologue (sender sort + delta sizing): its own
@@ -195,6 +398,10 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       const StopWatch prologue_watch;
       std::vector<double> prologue_sec(num_parts, 0.0);
       for (std::size_t p = 0; p < num_parts; ++p) {
+        if (!hosts(p)) {
+          senders_[p].clear();
+          continue;
+        }
         StopWatch watch;
         Mailbox& box = mailbox(p, l);
         senders_[p] =
@@ -208,13 +415,14 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       }
       result.compute_sec += serial_phase_cost(
           prologue_sec, prologue_watch.elapsed_sec(), timing);
-      // One stealable task per (partition, shard), LPT-seeded by pending
-      // slots; a partition's endpoint is the W-worker makespan bound over
-      // its shard drains (dist/bsp.h), so a hot partition stops gating the
-      // superstep.
+      // One stealable task per (hosted partition, shard), LPT-seeded by
+      // pending slots; a partition's endpoint is the W-worker makespan
+      // bound over its shard drains (dist/bsp.h), so a hot partition stops
+      // gating the superstep.
       std::vector<PartTask> tasks;
       tasks.reserve(num_parts * kShardsPerPart);
       for (std::size_t p = 0; p < num_parts; ++p) {
+        if (!hosts(p)) continue;
         for (std::size_t s = 0; s < kShardsPerPart; ++s) {
           tasks.push_back({static_cast<std::uint32_t>(p),
                            mailbox(p, l).shard(s).size()});
@@ -230,6 +438,10 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       result.compute_sec += timed_over_parts(
           pool_, num_parts,
           [&](std::size_t p) {
+            if (!hosts(p)) {
+              senders_[p].clear();
+              return;
+            }
             Mailbox& box = mailbox(p, l);
             // The last hop emits no messages: skip sender sort and deltas.
             senders_[p] =
@@ -247,9 +459,11 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
     }
 
     if (!is_last) {
-      // Exchange: one Δh row per (changed vertex, remote partition with at
-      // least one of its out-neighbors). Serial. Only the destination scan
-      // is billed as compute; the inbox copies and the bytes themselves are
+      // Exchange: each changed vertex's COMMITTED new H^l row goes ONCE to
+      // every remote partition owning at least one of its out-neighbors —
+      // same width as the delta, but carrying the state the receiver needs
+      // to keep its halo coherent. Serial. Only the destination scan is
+      // billed as compute; the inbox copies and the bytes themselves are
       // the transport's job (the cost model already charges the transfer —
       // timing the send too would double-count it).
       transport_->begin_superstep();
@@ -257,6 +471,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       std::vector<double> scan_sec(num_parts, 0.0);
       std::vector<std::pair<std::uint32_t, std::uint32_t>> sends;
       for (std::size_t p = 0; p < num_parts; ++p) {
+        if (!hosts(p)) continue;
         StopWatch watch;
         sends.clear();
         for (std::size_t r = 0; r < senders_[p].size(); ++r) {
@@ -269,27 +484,46 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
         }
         scan_sec[p] = watch.elapsed_sec();
         for (const auto& [r, q] : sends) {
-          transport_->send(p, q, senders_[p][r], delta_[p].row(r));
+          const VertexId u = senders_[p][r];
+          transport_->send(p, q, u, states_[p].store.layer(l).row(local(u)));
         }
       }
       result.compute_sec +=
           serial_phase_cost(scan_sec, scan_watch.elapsed_sec(), timing);
       result.comm_sec += transport_->end_superstep();
 
-      // Seed: each partition merges local deltas and inbox payloads in
-      // ascending global sender id order, then re-expands them over its
-      // locally-owned out-edges — reproducing the exact single-machine
-      // accumulation order per cell.
+      // Seed: each hosted partition derives Δh for every received row
+      // against its cached copy (bit-equal to the sender's subtraction at
+      // f32 wire precision), writes the received bits through into the
+      // halo, then merges local and derived deltas in ascending global
+      // sender id order and re-expands them over its locally-owned
+      // out-edges — reproducing the exact single-machine accumulation
+      // order per cell.
       const bool uses_self = model_.layer(l).uses_self();
       const auto seed_part = [&](std::size_t q) {
+        if (!hosts(q)) return;
+        RankState& st = states_[q];
+        const Transport::Inbox& inbox = transport_->inbox(q);
+        // no_fill: every row is written by the derivation loop below.
+        inbox_delta_[q].resize_no_fill(inbox.messages.size(), delta_dim);
         std::vector<MergeEntry>& merged = merge_[q];
         merged.clear();
         for (std::size_t r = 0; r < senders_[q].size(); ++r) {
           merged.push_back({senders_[q][r], delta_[q].row(r).data()});
         }
-        const Transport::Inbox& inbox = transport_->inbox(q);
-        for (const Transport::Message& m : inbox.messages) {
-          merged.push_back({m.sender, inbox.payload_of(m).data()});
+        for (std::size_t i = 0; i < inbox.messages.size(); ++i) {
+          const Transport::Message& m = inbox.messages[i];
+          const auto payload = inbox.payload_of(m);
+          // Coherence invariant: while a cut edge m.sender→q exists, every
+          // change of the sender ships here — so the cached row holds the
+          // sender's previous committed row, and row − cache is its Δh.
+          auto cached = st.halo.row(m.sender, l);
+          auto delta_row = inbox_delta_[q].row(i);
+          for (std::size_t j = 0; j < delta_row.size(); ++j) {
+            delta_row[j] = payload[j] - cached[j];
+          }
+          vec_copy(payload, cached);
+          merged.push_back({m.sender, delta_row.data()});
         }
         std::sort(merged.begin(), merged.end(),
                   [](const MergeEntry& a, const MergeEntry& b) {
@@ -310,7 +544,9 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       result.compute_sec +=
           timed_over_parts(pool_, num_parts, seed_part, timing);
     }
-    for (std::size_t p = 0; p < num_parts; ++p) mailbox(p, l).clear();
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      if (hosts(p)) mailbox(p, l).clear();
+    }
   }
 
   result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
@@ -319,11 +555,32 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
   return result;
 }
 
+EmbeddingStore DistRippleEngine::gather_embeddings() {
+  return gather_owned_store(
+      *transport_, row_map_, model_.config(), graph_.num_vertices(),
+      [this](std::size_t p, std::size_t l, VertexId v) {
+        return std::span<const float>(
+            states_[p].store.layer(l).row(local(v)));
+      });
+}
+
 std::size_t DistRippleEngine::memory_bytes() const {
-  std::size_t total = store_.bytes() + graph_.bytes();
-  for (const auto& cache : agg_cache_) total += cache.bytes();
-  for (const auto& box : mailboxes_) total += box.bytes();
-  return total;
+  // One rank's row state: the LARGEST hosted partition's footprint (per
+  // the DistEngineBase contract) plus the shared row map. The replicated
+  // topology is deliberately excluded — see src/dist/README.md. Mailboxes
+  // are counted whole: each partition's boxes only ever hold cells for
+  // vertices it owns (seeding guards on ownership), so no shard is
+  // partially owned and summing Mailbox::bytes() cannot double-count.
+  std::size_t worst = 0;
+  for (std::size_t p = 0; p < states_.size(); ++p) {
+    if (!transport_->hosts(p)) continue;
+    const RankState& st = states_[p];
+    std::size_t bytes = st.store.bytes() + st.halo.bytes();
+    for (const Matrix& cache : st.agg_cache) bytes += cache.bytes();
+    for (const Mailbox& box : st.boxes) bytes += box.bytes();
+    worst = std::max(worst, bytes);
+  }
+  return worst + row_map_.bytes();
 }
 
 }  // namespace ripple

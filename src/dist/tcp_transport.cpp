@@ -246,47 +246,56 @@ void TcpTransport::begin_superstep() {
 void TcpTransport::send(std::size_t src, std::size_t dst, VertexId sender,
                         std::span<const float> payload) {
   RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
-  // Sender-side wire rounding BEFORE counting, replica delivery, and
-  // framing: every rank (replicated protocol) narrows identically, so the
-  // local inbox copies match the bits a receiver decodes off the wire and
-  // the counters stay backend-independent.
+  RIPPLE_CHECK_MSG(src == rank_,
+                   "rank " << rank_ << " cannot transmit for partition "
+                           << src << " (owner routing)");
+  // Sender-side wire rounding BEFORE counting and framing: the counted
+  // bytes and the decoded bits match what any backend would produce for
+  // this send, keeping the summed counters backend-independent.
   const std::span<const float> row = round_row_for_wire(payload);
-  const bool bf16_wire =
-      options().wire_precision == WirePrecision::kBf16;
   count_wire(row_wire_bytes(row.size()), 1);
-  if (dst != rank_) {
-    // Feeds the replicated execution of a partition this rank does not own.
-    inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), row);
+  Peer& peer = peers_[dst];
+  if (options().wire_precision == WirePrecision::kBf16) {
+    // Narrowing the already-rounded row is exact, so the decode widens
+    // back to the same bits the sender committed.
+    wire::append_payload_frame_bf16(peer.sendbuf, sender,
+                                    static_cast<std::uint32_t>(src), row);
+  } else {
+    wire::append_payload_frame(peer.sendbuf, sender,
+                               static_cast<std::uint32_t>(src), row);
   }
-  if (src == rank_) {
-    Peer& peer = peers_[dst];
-    if (bf16_wire) {
-      // Narrowing the already-rounded row is exact, so the decode widens
-      // back to the same bits every replica holds.
-      wire::append_payload_frame_bf16(peer.sendbuf, sender,
-                                      static_cast<std::uint32_t>(src), row);
-    } else {
-      wire::append_payload_frame(peer.sendbuf, sender,
-                                 static_cast<std::uint32_t>(src), row);
-    }
-    if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
-  }
-  // dst == rank_ && src != rank_: nothing locally — the authoritative copy
-  // arrives over the wire during end_superstep().
+  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
 }
 
 void TcpTransport::send_opaque(std::size_t src, std::size_t dst,
                                std::size_t payload_bytes,
                                std::size_t num_messages) {
   RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  RIPPLE_CHECK_MSG(src == rank_,
+                   "rank " << rank_ << " cannot transmit for partition "
+                           << src << " (owner routing)");
   count_wire(payload_bytes, num_messages);
-  if (src == rank_) {
-    Peer& peer = peers_[dst];
-    wire::append_opaque_frame(peer.sendbuf, static_cast<std::uint32_t>(src),
-                              static_cast<std::uint32_t>(dst), payload_bytes,
-                              num_messages);
-    if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
-  }
+  Peer& peer = peers_[dst];
+  wire::append_opaque_frame(peer.sendbuf, static_cast<std::uint32_t>(src),
+                            static_cast<std::uint32_t>(dst), payload_bytes,
+                            num_messages);
+  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+}
+
+void TcpTransport::send_exact(std::size_t src, std::size_t dst,
+                              VertexId sender,
+                              std::span<const float> payload) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  RIPPLE_CHECK_MSG(src == rank_,
+                   "rank " << rank_ << " cannot transmit for partition "
+                           << src << " (owner routing)");
+  // State collection: exact f32 bits and full-width accounting regardless
+  // of --wire-precision.
+  count_wire(payload.size() * sizeof(float), 1);
+  Peer& peer = peers_[dst];
+  wire::append_payload_frame(peer.sendbuf, sender,
+                             static_cast<std::uint32_t>(src), payload);
+  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
 }
 
 bool TcpTransport::flush_some(Peer& peer) {
@@ -326,9 +335,10 @@ void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
       break;
     }
     case wire::FrameType::opaque:
-      // Accounting record: every rank already counted this transfer when
-      // the replicated protocol issued it, so the receiver only drains it
-      // (it keeps the byte stream's barrier ordering honest).
+      // Accounting record: counted once at the sender (counters are
+      // per-rank egress), so the receiver only drains it — the frame keeps
+      // the byte stream's barrier ordering honest and lets the receiver's
+      // replicated-topology walk reconstruct the content out-of-band.
       break;
     case wire::FrameType::barrier:
       RIPPLE_CHECK_MSG(frame.superstep == peer.barriers_seen,
@@ -412,9 +422,10 @@ double TcpTransport::end_superstep() {
       if (fds[i].revents & POLLOUT) flush_some(peer);
     }
   }
-  // Canonical delivery: ascending sending rank, per-rank arrival order —
-  // exactly SimTransport's global send order, so the engines' merges see
-  // identical sequences on both backends.
+  // Canonical delivery: ascending sending rank, per-rank arrival order.
+  // Within one sender this matches SimTransport's send order; across
+  // senders the interleaving differs (sim is globally interleaved), which
+  // is why the engines consume inboxes by sender, never positionally.
   for (std::size_t p = 0; p < num_parts(); ++p) {
     for (const wire::Frame& frame : staged_by_src_[p]) {
       inboxes_[rank_].append(frame.sender, frame.src_part, frame.row);

@@ -2,33 +2,34 @@
 // partition r, full mesh of TCP connections, length-prefixed frames
 // (wire_format.h), and a barrier per superstep.
 //
-// Execution model — replicated compute, authoritative message path. The
-// dist engines keep the repo's replicated-topology design: every rank runs
-// the full engine loop over all partitions, which is what lets the engine
-// code depend only on the Transport interface. The transport makes rank r's
-// OWN partition's traffic real:
+// Execution model — owner routing over per-rank state. hosts(p) returns
+// p == rank, so the engines run only this rank's partition phases: rank r
+// holds the owned embedding/cache/mailbox rows for partition r plus a halo
+// cache of remote boundary rows, and every message has exactly one real
+// sender and one real receiver:
 //
-//   send(src, dst, ...) at rank r:
-//     * always counted (same header_bytes envelope as SimTransport, so the
-//       wire counters are backend-independent);
-//     * appended to the local inbox of dst when dst != r — this feeds the
-//       replicated execution of the partitions rank r does not own;
-//     * framed and transmitted over the socket to rank dst when src == r —
-//       exactly one rank transmits each message;
-//     * NOT delivered locally when dst == r: rank r's own inbox is filled
-//       exclusively from the wire, so the floats that produce rank r's
-//       owned embedding rows really did round-trip through serialization
-//       and the network. A framing bug breaks bit-exactness and is caught
-//       by the conformance suite.
+//   send / send_exact(src, dst, ...) at rank r:
+//     * src must equal r — a rank only transmits for the partition it
+//       hosts (the engines' hosts() guards enforce this upstream);
+//     * counted with the same header_bytes envelope as SimTransport; the
+//       counters are this rank's EGRESS, and summing them across ranks
+//       reproduces the sim totals for the same protocol run;
+//     * framed and transmitted over the socket to rank dst. The receiver's
+//       inbox is filled exclusively from the wire, so the floats that
+//       refresh halo rows and seed mailboxes really did round-trip through
+//       serialization and the network. A framing bug breaks bit-exactness
+//       and is caught by the conformance suite.
 //
 // Barrier protocol: end_superstep() queues a barrier frame to every peer,
 // then polls non-blocking sockets — flushing pending writes and draining
 // reads — until every peer's barrier for this superstep arrived and all
-// writes completed. Per-connection TCP ordering plus ascending-src_part
-// canonicalization of the received messages reproduces SimTransport's
-// deterministic inbox order, which the engines' ascending-sender merges
-// rely on. A peer may run at most one superstep ahead (its next barrier
-// needs ours), so early frames are stashed and surfaced at the next
+// writes completed. Received messages are delivered in ascending-src_part
+// order, per-connection arrival order within a sender. That groups a
+// superstep's inbox by sender rank — NOT SimTransport's globally
+// interleaved send order — so engine phases that consume the inbox either
+// merge by sender (order-insensitive) or walk per-src-part FIFO cursors.
+// A peer may run at most one superstep ahead (its next barrier needs
+// ours), so early frames are stashed and surfaced at the next
 // begin_superstep().
 //
 // end_superstep() returns MEASURED wall-clock seconds (measures_time() ==
@@ -80,8 +81,11 @@ class TcpTransport final : public Transport {
   void send_opaque(std::size_t src, std::size_t dst,
                    std::size_t payload_bytes,
                    std::size_t num_messages = 1) override;
+  void send_exact(std::size_t src, std::size_t dst, VertexId sender,
+                  std::span<const float> payload) override;
   double end_superstep() override;
   bool measures_time() const override { return true; }
+  bool hosts(std::size_t part) const override { return part == rank_; }
 
  protected:
   const char* name_impl() const override { return "tcp"; }

@@ -109,6 +109,15 @@ void SimTransport::send_opaque(std::size_t src, std::size_t dst,
   account(src, dst, payload_bytes, num_messages);
 }
 
+void SimTransport::send_exact(std::size_t src, std::size_t dst,
+                              VertexId sender,
+                              std::span<const float> payload) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  // Exact bits, counted at full f32 width — never wire-rounded.
+  inboxes_[dst].append(sender, static_cast<std::uint32_t>(src), payload);
+  account(src, dst, payload.size() * sizeof(float), 1);
+}
+
 double SimTransport::end_superstep() {
   double worst = 0.0;
   for (std::size_t p = 0; p < num_parts(); ++p) {

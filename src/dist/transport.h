@@ -115,10 +115,30 @@ class Transport {
   virtual void send(std::size_t src, std::size_t dst, VertexId sender,
                     std::span<const float> payload) = 0;
 
-  // Accounting-only transfer (update routing, halo row fetches).
+  // Accounting-only transfer (update routing: the receiver reconstructs the
+  // content from replicated topology, so only the byte/message counts ship).
   virtual void send_opaque(std::size_t src, std::size_t dst,
                            std::size_t payload_bytes,
                            std::size_t num_messages = 1) = 0;
+
+  // Payload send that is NEVER wire-rounded and is always counted at f32
+  // width, regardless of --wire-precision. Used for state collection
+  // (gather_embeddings), where the leader must reassemble the exact bits
+  // each owner holds — lossy rounding there would break the bit-exactness
+  // contract rather than model a cheaper wire.
+  virtual void send_exact(std::size_t src, std::size_t dst, VertexId sender,
+                          std::span<const float> payload) = 0;
+
+  // Whether this endpoint hosts (owns the state of, and computes) the given
+  // partition. SimTransport hosts every partition — the whole cluster lives
+  // in one process, so one engine instance walks all parts and the protocol
+  // run is byte-identical to a real cluster's union. TcpTransport hosts only
+  // part == rank: each process holds owned rows + halo cache for its rank
+  // and skips every other partition's phases.
+  virtual bool hosts(std::size_t part) const {
+    (void)part;
+    return true;
+  }
 
   // Completes the superstep barrier and returns its cost in seconds:
   // modeled (cost model) or measured (wall clock), per measures_time().
@@ -184,6 +204,8 @@ class SimTransport final : public Transport {
   void send_opaque(std::size_t src, std::size_t dst,
                    std::size_t payload_bytes,
                    std::size_t num_messages = 1) override;
+  void send_exact(std::size_t src, std::size_t dst, VertexId sender,
+                  std::span<const float> payload) override;
 
   // Modeled seconds for the superstep: max over partitions of
   // (egress + ingress) cost.

@@ -17,11 +17,11 @@
 //              bit-identical to the sender's rounded copy — which is what
 //              keeps tcp and sim bit-equal at reduced wire precision.
 //   opaque   — u32 src_part, u32 dst_part, u64 payload_bytes,
-//              u64 num_messages. Accounting record for routing / halo
-//              transfers; the receiver drains it for barrier ordering but
-//              counts nothing (each rank already counts every protocol
-//              send locally, which is what keeps sim and tcp counters
-//              identical).
+//              u64 num_messages. Accounting record of the update-routing
+//              broadcast; the receiver drains it for barrier ordering but
+//              counts nothing — counters are per-rank egress, recorded at
+//              the sender, and the per-rank sums equal sim's global
+//              totals (tests/dist/test_transport.cpp).
 //   barrier  — u32 src_part, u64 superstep. End-of-superstep marker; a
 //              rank's superstep completes when every peer's barrier for
 //              the same superstep index arrived.

@@ -7,10 +7,12 @@
 // InkStream, contrasted in §3) and are rejected by the incremental engine.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <string>
 
 #include "graph/types.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 
 namespace ripple {
@@ -33,6 +35,44 @@ inline float edge_coefficient(AggregatorKind kind, const Neighbor& nb) {
 void aggregate_neighbors(AggregatorKind kind,
                          std::span<const Neighbor> in_nbrs,
                          const Matrix& h_prev, std::span<float> out);
+
+// Row-resolver variant for per-rank distributed state: `row_of(u)` returns
+// a pointer to u's d-wide previous-layer row, wherever it lives (owned
+// local row, halo-cache row, or a pulled wire payload). The float op
+// sequence is IDENTICAL to the Matrix overload above — same fill, same
+// per-neighbor axpy order, same mean scale — so resolving rows from
+// scattered storage cannot change a single bit of the aggregate.
+template <typename RowOf>
+void aggregate_neighbors_resolved(AggregatorKind kind,
+                                  std::span<const Neighbor> in_nbrs,
+                                  const RowOf& row_of, std::span<float> out) {
+  const std::size_t d = out.size();
+  if (kind == AggregatorKind::max || kind == AggregatorKind::min) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    bool first = true;
+    for (const Neighbor& nb : in_nbrs) {
+      const float* row = row_of(nb.vertex);
+      if (first) {
+        std::copy(row, row + d, out.begin());
+        first = false;
+      } else if (kind == AggregatorKind::max) {
+        for (std::size_t j = 0; j < d; ++j) out[j] = std::max(out[j], row[j]);
+      } else {
+        for (std::size_t j = 0; j < d; ++j) out[j] = std::min(out[j], row[j]);
+      }
+    }
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  const KernelOps& ops = kernels();
+  for (const Neighbor& nb : in_nbrs) {
+    ops.vec_axpy(out.data(), edge_coefficient(kind, nb), row_of(nb.vertex),
+                 d);
+  }
+  if (kind == AggregatorKind::mean && !in_nbrs.empty()) {
+    ops.vec_scale(out.data(), 1.0f / static_cast<float>(in_nbrs.size()), d);
+  }
+}
 
 // X_agg[v] = Aggregate over in-neighbors for every vertex (layer-wise full
 // pass). GraphT must expose num_vertices() and in_neighbors(v).

@@ -183,6 +183,29 @@ std::size_t HaloIndex::total_halo() const {
   return total;
 }
 
+LocalRowMap::LocalRowMap(const Partition& partition,
+                         std::size_t num_vertices) {
+  owned_.resize(partition.num_parts());
+  extend(partition, num_vertices);
+}
+
+void LocalRowMap::extend(const Partition& partition,
+                         std::size_t new_num_vertices) {
+  RIPPLE_CHECK(partition.num_parts() == owned_.size());
+  RIPPLE_CHECK(new_num_vertices >= local_of_.size());
+  for (VertexId v = local_of_.size(); v < new_num_vertices; ++v) {
+    const std::uint32_t p = partition.part_of(v);
+    local_of_.push_back(static_cast<std::uint32_t>(owned_[p].size()));
+    owned_[p].push_back(v);
+  }
+}
+
+std::size_t LocalRowMap::bytes() const {
+  std::size_t total = local_of_.capacity() * sizeof(std::uint32_t);
+  for (const auto& part : owned_) total += part.capacity() * sizeof(VertexId);
+  return total;
+}
+
 HaloIndex build_halo_index(const DynamicGraph& graph,
                            const Partition& partition) {
   const std::size_t k = partition.num_parts();

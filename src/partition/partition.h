@@ -88,4 +88,46 @@ struct HaloIndex {
 HaloIndex build_halo_index(const DynamicGraph& graph,
                            const Partition& partition);
 
+// Stable global→local row addressing for per-rank state. Each partition's
+// owned vertices get dense local row ids 0..part_size-1 assigned in
+// ascending global id order, so a rank can store only its owned embedding/
+// cache rows. The map is stable under growth: extend() assigns fresh local
+// ids to newly arrived vertices (using the partition's fallback routing for
+// post-partition ids) without renumbering any existing row — live matrix
+// rows never move.
+class LocalRowMap {
+ public:
+  LocalRowMap() = default;
+  LocalRowMap(const Partition& partition, std::size_t num_vertices);
+
+  // Appends local ids for vertices [num_vertices(), new_num_vertices).
+  void extend(const Partition& partition, std::size_t new_num_vertices);
+
+  std::size_t num_vertices() const { return local_of_.size(); }
+  std::size_t num_parts() const { return owned_.size(); }
+
+  // Local row id of v within its owning partition's state.
+  std::uint32_t local_of(VertexId v) const { return local_of_[v]; }
+
+  // Raw global→local table (indexed by global vertex id) for kernels that
+  // remap rows in a tight loop (core/hop_kernel.h's local_row parameter).
+  const std::uint32_t* local_rows() const { return local_of_.data(); }
+
+  // Owned vertices of `part` in ascending global id order; position ==
+  // local row id for vertices present at construction (extend() appends
+  // in arrival order, still one slot per vertex).
+  const std::vector<VertexId>& owned(std::size_t part) const {
+    return owned_[part];
+  }
+  std::size_t part_size(std::size_t part) const {
+    return owned_[part].size();
+  }
+
+  std::size_t bytes() const;
+
+ private:
+  std::vector<std::uint32_t> local_of_;     // index: global vertex id
+  std::vector<std::vector<VertexId>> owned_;  // per part, local id -> global
+};
+
 }  // namespace ripple

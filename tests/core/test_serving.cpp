@@ -213,6 +213,79 @@ TEST(StreamingServer, AgeWindowStartsAtFirstPendingNotLastSubmit) {
   EXPECT_EQ(server.submit(GraphUpdate::edge_add(2, 7)), 3u);
 }
 
+// ---- vertex-growth regression ----
+// refresh_labels_and_notify() used to index labels_[v] for every vertex of
+// the CURRENT graph while labels_ kept its construction-time size: an
+// engine whose graph grows between batches made the diff loop read and
+// write out of bounds. New vertices must be baselined to their current
+// prediction without a spurious flip callback.
+
+class GrowingStubEngine : public InferenceEngine {
+ public:
+  GrowingStubEngine()
+      : model_(GnnModel::random(workload_config(Workload::gc_s, 2, 2, 2, 2),
+                                7)),
+        graph_(2), store_(model_.config(), 2) {
+    set_label(0, 0);
+    set_label(1, 0);
+  }
+  const char* name() const override { return "growing-stub"; }
+  BatchResult apply_batch(UpdateBatch batch) override {
+    // Every batch adds one vertex predicted as label 1; batch 2 also flips
+    // vertex 0 from label 0 to 1.
+    ++batches_;
+    const std::size_t n = graph_.num_vertices() + 1;
+    graph_ = DynamicGraph(n);
+    store_ = EmbeddingStore(model_.config(), n);
+    set_label(0, batches_ >= 2 ? 1 : 0);
+    for (VertexId v = 2; v < n; ++v) set_label(v, 1);
+    BatchResult result;
+    result.batch_size = batch.size();
+    return result;
+  }
+  const EmbeddingStore& embeddings() const override { return store_; }
+  const DynamicGraph& graph() const override { return graph_; }
+  const GnnModel& model() const override { return model_; }
+  std::size_t memory_bytes() const override { return store_.bytes(); }
+
+ private:
+  void set_label(VertexId v, std::uint32_t label) {
+    store_.logits().row(v)[label] = 1.0f;
+  }
+  GnnModel model_;
+  DynamicGraph graph_;
+  EmbeddingStore store_;
+  std::size_t batches_ = 0;
+};
+
+TEST(StreamingServer, VertexGrowthBaselinesNewLabelsWithoutFlipCallbacks) {
+  StreamingServer::Options options;
+  options.batch_size = 1;
+  StreamingServer server(std::make_unique<GrowingStubEngine>(), options);
+  std::vector<VertexId> flipped;
+  server.set_label_callback(
+      [&](VertexId v, std::uint32_t old_label, std::uint32_t new_label) {
+        flipped.push_back(v);
+        EXPECT_EQ(old_label, 0u);
+        EXPECT_EQ(new_label, 1u);
+      });
+
+  // Batch 1 grows 2 -> 3 vertices: the newcomer is immediately servable
+  // but NOT reported as a flip (it has no old label to flip from).
+  server.submit(GraphUpdate::edge_add(0, 1));
+  EXPECT_TRUE(flipped.empty());
+  EXPECT_EQ(server.stats().label_changes, 0u);
+  EXPECT_EQ(server.label(2), 1u);
+
+  // Batch 2 grows 3 -> 4 and flips vertex 0: exactly that one callback —
+  // the batch-1 newcomer's baseline stuck, so it does not re-fire.
+  server.submit(GraphUpdate::edge_add(0, 1));
+  ASSERT_EQ(flipped.size(), 1u);
+  EXPECT_EQ(flipped[0], 0u);
+  EXPECT_EQ(server.stats().label_changes, 1u);
+  EXPECT_EQ(server.label(3), 1u);
+}
+
 TEST(StreamingServer, WorksWithRecomputeEngineToo) {
   auto graph = testing::random_graph(20, 100, 102);
   const auto features = testing::random_features(20, 4, 103);

@@ -7,12 +7,20 @@
 //  2. Transport accounting: wire counters match a hand-computed count on a
 //     tiny 2-partition graph, for both the edge and the feature paths.
 //  3. A single partition produces zero wire traffic.
+//  4. Halo-cache invalidation: a boundary mutation refreshes the neighbor
+//     partition's cached rows before the next read; a non-boundary mutation
+//     ships nothing but routing; cut-edge deletion erases eagerly and
+//     re-adding refills with the owner's current committed rows.
+//  5. Memory scaling: one rank's resident state at P=4 is under half of
+//     the P=1 footprint — adding ranks adds capacity.
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
 #include "common/thread_pool.h"
 #include "core/ripple_engine.h"
 #include "dist/dist_engine.h"
+#include "dist/dist_ripple.h"
+#include "dist/transport.h"
 #include "infer/recompute.h"
 #include "stream/generator.h"
 
@@ -318,6 +326,135 @@ TEST(DistTransportAccounting, SinglePartitionProducesZeroWireTraffic) {
     EXPECT_EQ(result.wire_bytes, 0u) << key;
     EXPECT_EQ(result.wire_messages, 0u) << key;
     EXPECT_EQ(result.comm_sec, 0.0) << key;
+  }
+}
+
+// ---- halo-cache invalidation: fill / write-through refresh / eager erase
+// on the TinyDist topology (vertices 0,1 on part 0; 2,3 on part 1; cut
+// edges 1->2 and 2->0).
+
+DistRippleEngine make_tiny_halo_engine(const TinyDist& t) {
+  return DistRippleEngine(
+      t.model, t.graph, t.features, t.partition, nullptr,
+      std::make_unique<SimTransport>(t.partition.num_parts(),
+                                     TransportOptions{}));
+}
+
+TEST(DistHaloCache, BoundaryFeatureMutationRefreshesNeighborHalo) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_tiny_halo_engine(t);
+  // Bootstrap halos mirror the cut in-edges exactly.
+  EXPECT_TRUE(engine.halo_contains(1, 1));   // 1 -> 2 crosses into part 1
+  EXPECT_TRUE(engine.halo_contains(0, 2));   // 2 -> 0 crosses into part 0
+  EXPECT_FALSE(engine.halo_contains(1, 0));  // 0 has no edge into part 1
+  EXPECT_FALSE(engine.halo_contains(0, 3));  // 3 has no out-edges at all
+  const auto boot = engine.halo_row(1, 1, 0);
+  ASSERT_EQ(boot.size(), 2u);
+  EXPECT_EQ(boot[0], t.features.row(1)[0]);
+  EXPECT_EQ(boot[1], t.features.row(1)[1]);
+
+  // Mutating boundary vertex 1's features must refresh part 1's cached H^0
+  // row to the new bits before any subsequent read.
+  const std::vector<GraphUpdate> mutate = {
+      GraphUpdate::vertex_feature(1, {0.75f, -1.25f})};
+  engine.apply_batch(mutate);
+  const auto updated = engine.halo_row(1, 1, 0);
+  EXPECT_EQ(updated[0], 0.75f);
+  EXPECT_EQ(updated[1], -1.25f);
+
+  // The ripple reached H^1 of boundary vertex 2, and the hop-1 exchange
+  // wrote the committed row through into part 0's cache: every cached row
+  // is bit-equal to the owner's current row.
+  const EmbeddingStore full = engine.gather_embeddings();
+  for (std::size_t l = 0; l < 2; ++l) {
+    const auto cached = engine.halo_row(0, 2, l);
+    const auto owner_row = full.layer(l).row(2);
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      EXPECT_EQ(cached[i], owner_row[i]) << "layer " << l << " col " << i;
+    }
+  }
+}
+
+TEST(DistHaloCache, NonBoundaryFeatureMutationShipsOnlyRouting) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_tiny_halo_engine(t);
+  // Vertex 3 has no out-edges: nothing downstream, nothing remote. The
+  // update itself is the only wire traffic (leader -> part 1 routing).
+  const std::vector<GraphUpdate> batch = {
+      GraphUpdate::vertex_feature(3, {0.5f, 0.5f})};
+  const auto result = engine.apply_batch(batch);
+  EXPECT_EQ(result.wire_messages, 1u);
+  EXPECT_EQ(result.wire_bytes, kHeader + batch[0].wire_bytes());
+}
+
+TEST(DistHaloCache, CutEdgeDeleteErasesAndReAddRefills) {
+  TinyDist t(2, {0, 0, 1, 1});
+  auto engine = make_tiny_halo_engine(t);
+  // Deleting 1->2 removes vertex 1's LAST cut edge into part 1: the entry
+  // is erased eagerly, in the same batch.
+  const std::vector<GraphUpdate> del = {GraphUpdate::edge_del(1, 2)};
+  engine.apply_batch(del);
+  EXPECT_FALSE(engine.halo_contains(1, 1));
+  EXPECT_TRUE(engine.halo_contains(0, 2));  // 2 -> 0 still cut
+
+  // Mutate vertex 1 while it is NOT cached anywhere, then re-add the cut
+  // edge: the refill must carry the owner's CURRENT committed rows, not
+  // the bits cached before the delete.
+  const std::vector<GraphUpdate> mutate = {
+      GraphUpdate::vertex_feature(1, {2.0f, -3.0f})};
+  engine.apply_batch(mutate);
+  const std::vector<GraphUpdate> re_add = {GraphUpdate::edge_add(1, 2)};
+  engine.apply_batch(re_add);
+  EXPECT_TRUE(engine.halo_contains(1, 1));
+  const EmbeddingStore full = engine.gather_embeddings();
+  for (std::size_t l = 0; l < 2; ++l) {
+    const auto cached = engine.halo_row(1, 1, l);
+    const auto owner_row = full.layer(l).row(1);
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      EXPECT_EQ(cached[i], owner_row[i]) << "layer " << l << " col " << i;
+    }
+  }
+}
+
+// ---- memory scaling: adding ranks must ADD capacity ----
+
+TEST(DistMemory, FourPartRankStaysUnderHalfOfSinglePartFootprint) {
+  // Locality-friendly chain-with-shortcuts graph and contiguous blocks:
+  // the halo stays small, so per-rank residency is dominated by owned
+  // rows and must drop roughly linearly in the partition count.
+  constexpr std::size_t kN = 256;
+  DynamicGraph graph(kN);
+  for (VertexId v = 0; v + 1 < kN; ++v) graph.add_edge(v, v + 1);
+  for (VertexId v = 0; v + 2 < kN; v += 2) graph.add_edge(v, v + 2);
+  const auto features = testing::random_features(kN, 8, 19);
+  const auto config = workload_config(Workload::gc_s, 8, 4, 2, 12);
+  const auto model = GnnModel::random(config, 21);
+  StreamConfig stream_config;
+  stream_config.num_updates = 60;
+  stream_config.feat_dim = 8;
+  stream_config.seed = 23;
+  const auto stream = generate_stream(graph, stream_config);
+
+  for (const char* key : {"ripple", "rc"}) {
+    SCOPED_TRACE(key);
+    std::size_t mem_p1 = 0;
+    std::size_t mem_p4 = 0;
+    for (const std::size_t num_parts : {std::size_t{1}, std::size_t{4}}) {
+      std::vector<std::uint32_t> part_of(kN);
+      for (VertexId v = 0; v < kN; ++v) {
+        part_of[v] = static_cast<std::uint32_t>(v / (kN / num_parts));
+      }
+      Partition partition(num_parts, std::move(part_of));
+      auto engine = make_dist_engine(key, model, graph, features, partition);
+      for (const auto& batch : make_batches(stream, 10)) {
+        engine->apply_batch(batch);
+      }
+      (num_parts == 1 ? mem_p1 : mem_p4) = engine->memory_bytes();
+    }
+    EXPECT_GT(mem_p1, 0u);
+    // One P=4 rank holds LESS THAN HALF the P=1 state: splitting four ways
+    // genuinely sheds rows instead of replicating them.
+    EXPECT_LT(mem_p4 * 2, mem_p1);
   }
 }
 

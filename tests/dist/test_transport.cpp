@@ -5,8 +5,12 @@
 //  2. Sim-vs-TCP conformance: for both engines, across num_parts {1, 2, 4}
 //     × pool on/off, a fork-based loopback cluster produces owned
 //     embedding rows BIT-IDENTICAL to the single-machine engines and to
-//     the SimTransport run, with IDENTICAL wire_bytes / wire_messages —
-//     and reports measured (comm_measured) timing.
+//     the SimTransport run; the per-rank egress counters SUM to sim's
+//     global wire_bytes / wire_messages (owner routing counts each
+//     transfer once, at its source); the leader's collective
+//     gather_embeddings() reassembles the full table bit-exactly over
+//     real sockets; and every rank reports measured (comm_measured)
+//     timing.
 //  3. RIPPLE_TRANSPORT=tcp additionally routes the multi-workload
 //     exactness property over loopback ranks (ci.sh's dedicated tcp pass;
 //     skipped otherwise to keep the default dist tier fast).
@@ -144,13 +148,17 @@ RmatCase make_rmat_case(std::uint64_t seed) {
 }
 
 // One rank's report, shipped through the loopback result pipe: counters +
-// raw bits of every owned row of every layer.
+// raw bits of every owned row of every layer. The leader additionally
+// ships the FULL store its collective gather_embeddings() assembled from
+// the owned-row collection frames — the satellite assertion that the
+// leader-side gather is bit-correct over real sockets.
 struct RankReport {
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_messages = 0;
   std::uint8_t comm_measured = 0;
   std::vector<VertexId> owned;
   std::vector<float> rows;  // owned-major, layer-major concatenation
+  std::vector<float> full;  // leader only: gathered store, vertex-major
 };
 
 template <typename T>
@@ -191,11 +199,24 @@ std::vector<std::uint8_t> encode_report(const EmbeddingStore& store,
       blob.insert(blob.end(), bytes, bytes + row.size() * sizeof(float));
     }
   }
+  // The leader ships the whole gathered table (its collective gather
+  // collected every rank's owned rows over send_exact frames).
+  blob_put(blob, static_cast<std::uint8_t>(rank == 0));
+  if (rank == 0) {
+    for (VertexId v = 0; v < store.num_vertices(); ++v) {
+      for (std::size_t l = 0; l <= store.num_layers(); ++l) {
+        const auto row = store.layer(l).row(v);
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(row.data());
+        blob.insert(blob.end(), bytes, bytes + row.size() * sizeof(float));
+      }
+    }
+  }
   return blob;
 }
 
 RankReport decode_report(const std::vector<std::uint8_t>& blob,
-                         const std::vector<std::size_t>& layer_dims) {
+                         const std::vector<std::size_t>& layer_dims,
+                         std::size_t num_vertices) {
   RankReport report;
   std::size_t at = 0;
   report.wire_bytes = blob_get<std::uint64_t>(blob, at);
@@ -212,6 +233,12 @@ RankReport decode_report(const std::vector<std::uint8_t>& blob,
                 floats_per_vertex * sizeof(float));
     at += floats_per_vertex * sizeof(float);
   }
+  if (blob_get<std::uint8_t>(blob, at) != 0) {
+    report.full.resize(num_vertices * floats_per_vertex);
+    std::memcpy(report.full.data(), blob.data() + at,
+                report.full.size() * sizeof(float));
+    at += report.full.size() * sizeof(float);
+  }
   EXPECT_EQ(at, blob.size());
   return report;
 }
@@ -226,8 +253,10 @@ std::vector<std::size_t> layer_dims_of(const ModelConfig& config) {
 
 // Runs `key` over a tcp loopback cluster (one forked process per rank) and
 // assembles the authoritative owned rows of every rank into one store;
-// checks every rank reported measured timing and that all ranks agreed on
-// the wire counters (the replicated protocol counts global traffic).
+// checks every rank reported measured timing, that the leader's collective
+// gather reproduced the assembled owned rows bit-for-bit, and returns the
+// SUM of the per-rank egress counters (owner routing counts each transfer
+// exactly once at its source, so the sum equals sim's global totals).
 EmbeddingStore run_tcp_cluster(const char* key, const GnnModel& model,
                                const RmatCase& c, const Partition& partition,
                                bool use_pool, std::size_t batch_size,
@@ -261,8 +290,10 @@ EmbeddingStore run_tcp_cluster(const char* key, const GnnModel& model,
   const auto dims = layer_dims_of(model.config());
   wire_bytes = 0;
   wire_messages = 0;
+  std::vector<float> leader_full;
   for (std::size_t r = 0; r < num_parts; ++r) {
-    const RankReport report = decode_report(results[r], dims);
+    const RankReport report =
+        decode_report(results[r], dims, c.snapshot.num_vertices());
     EXPECT_EQ(report.comm_measured, 1u) << "rank " << r;
     std::size_t cursor = 0;
     for (const VertexId v : report.owned) {
@@ -272,14 +303,32 @@ EmbeddingStore run_tcp_cluster(const char* key, const GnnModel& model,
         cursor += dims[l];
       }
     }
-    if (r == 0) {
-      wire_bytes = report.wire_bytes;
-      wire_messages = report.wire_messages;
-    } else {
-      EXPECT_EQ(report.wire_bytes, wire_bytes) << "rank " << r;
-      EXPECT_EQ(report.wire_messages, wire_messages) << "rank " << r;
+    wire_bytes += report.wire_bytes;
+    wire_messages += report.wire_messages;
+    if (r == 0) leader_full = report.full;
+  }
+  // The leader's gather_embeddings() — owned rows collected over real
+  // sockets via exact-bit frames — reconstructed the identical table.
+  std::size_t floats_per_vertex = 0;
+  for (const std::size_t dim : dims) floats_per_vertex += dim;
+  EXPECT_EQ(leader_full.size(),
+            c.snapshot.num_vertices() * floats_per_vertex);
+  if (leader_full.size() != c.snapshot.num_vertices() * floats_per_vertex) {
+    return assembled;
+  }
+  std::size_t at = 0;
+  std::size_t full_mismatches = 0;
+  for (VertexId v = 0; v < c.snapshot.num_vertices(); ++v) {
+    for (std::size_t l = 0; l < dims.size(); ++l) {
+      const auto row = assembled.layer(l).row(v);
+      if (std::memcmp(row.data(), leader_full.data() + at,
+                      dims[l] * sizeof(float)) != 0) {
+        ++full_mismatches;
+      }
+      at += dims[l];
     }
   }
+  EXPECT_EQ(full_mismatches, 0u) << "leader gather diverged from owned rows";
   return assembled;
 }
 
