@@ -31,20 +31,26 @@ inline Partition make_partition(const DynamicGraph& graph,
 
 #if RIPPLE_HAS_DIST
 
-// Transport selection shared by the dist benches and the distributed
+// Run-shape selection shared by the dist benches and the distributed
 // example: --transport=sim (default, modeled cost) or --transport=tcp
-// (real sockets, measured seconds; needs --rank and --peers).
-struct TransportSpec {
+// (real sockets, measured seconds; needs --rank and --peers), and
+// --mode=bsp (default, barriered supersteps) or --mode=async (barrier-free
+// epoch with token termination; see docs/async.md).
+struct RunSpec {
   std::string kind = "sim";
   TcpConfig tcp;  // valid only when kind == "tcp"
+  ExecMode mode = ExecMode::kBsp;
 
   bool is_tcp() const { return kind == "tcp"; }
   std::size_t world_size() const { return tcp.peers.size(); }
+  const char* mode_name() const { return exec_mode_name(mode); }
 
-  static TransportSpec from_flags(const Flags& flags) {
-    TransportSpec spec;
+  static RunSpec from_flags(const Flags& flags) {
+    RunSpec spec;
     spec.kind = flags.get_choice("transport", {"sim", "tcp"}, "sim");
     if (spec.is_tcp()) spec.tcp = TcpConfig::from_flags(flags);
+    spec.mode =
+        parse_exec_mode(flags.get_choice("mode", exec_mode_choices(), "bsp"));
     return spec;
   }
 };
@@ -52,7 +58,7 @@ struct TransportSpec {
 // Bench-side tcp run policy: one rank per partition (the world size pins
 // the partition sweep to a single entry) and only the leader narrates —
 // every rank runs the identical sweep, so non-leaders mute stdout.
-inline void apply_tcp_run_policy(const TransportSpec& spec,
+inline void apply_tcp_run_policy(const RunSpec& spec,
                                  std::vector<std::int64_t>& part_counts) {
   if (!spec.is_tcp()) return;
   part_counts = {static_cast<std::int64_t>(spec.world_size())};
@@ -61,7 +67,7 @@ inline void apply_tcp_run_policy(const TransportSpec& spec,
   }
 }
 
-inline std::unique_ptr<Transport> make_transport(const TransportSpec& spec,
+inline std::unique_ptr<Transport> make_transport(const RunSpec& spec,
                                                  std::size_t num_parts) {
   if (spec.is_tcp()) {
     RIPPLE_CHECK_MSG(num_parts == spec.world_size(),
@@ -83,6 +89,13 @@ struct DistRunMetrics {
   double median_latency_sec = 0;
   double compute_sec = 0;          // totals across the run
   double comm_sec = 0;
+  // Stall accounting (totals of the per-batch worst rank): BSP charges the
+  // slowest rank's superstep barrier waits, async charges its poll-loop
+  // idle; epoch_sec totals the barrier-free epoch makespans (async only).
+  double epoch_sec = 0;
+  double barrier_wait_sec = 0;
+  double idle_sec = 0;
+  std::size_t token_messages = 0;
   // True when the run's seconds are measured wall clock (tcp transport)
   // rather than the cost model's output — never average the two kinds.
   bool comm_measured = false;
@@ -107,13 +120,18 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
     latencies.push_back(result.total_sec());
     metrics.compute_sec += result.compute_sec;
     metrics.comm_sec += result.comm_sec;
+    metrics.epoch_sec += result.epoch_sec;
+    metrics.barrier_wait_sec += result.barrier_wait_max();
+    metrics.idle_sec += result.idle_max();
+    metrics.token_messages += result.token_messages;
     metrics.comm_measured = result.comm_measured;
     metrics.wire_bytes += result.wire_bytes;
     metrics.wire_messages += result.wire_messages;
     ++metrics.num_batches;
     if (max_batches != 0 && metrics.num_batches >= max_batches) break;
   }
-  const double total = metrics.compute_sec + metrics.comm_sec;
+  const double total =
+      metrics.compute_sec + metrics.comm_sec + metrics.epoch_sec;
   const double updates = static_cast<double>(metrics.num_batches) *
                          static_cast<double>(batch_size);
   metrics.throughput_ups = total > 0 ? updates / total : 0;

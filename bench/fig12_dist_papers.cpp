@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
                           : std::vector<std::int64_t>{4, 8, 16});
   set_log_level(log_level::warn);
   set_transport_options(TransportOptions::from_flags(flags));
-  const auto transport_spec = bench::TransportSpec::from_flags(flags);
-  bench::apply_tcp_run_policy(transport_spec, part_counts);
+  const auto run_spec = bench::RunSpec::from_flags(flags);
+  bench::apply_tcp_run_policy(run_spec, part_counts);
 
   if (!json) {
     bench::print_header("Fig. 12: distributed Ripple vs RC on Papers analogue");
@@ -54,13 +54,15 @@ int main(int argc, char** argv) {
   }
 
   // ---- (a) 8 partitions, GC-S / GC-M, throughput + latency ----
-  const std::size_t parts_a = transport_spec.is_tcp()
-                                  ? transport_spec.world_size()
+  const std::size_t parts_a = run_spec.is_tcp()
+                                  ? run_spec.world_size()
                                   : (quick ? 4 : 8);
   const auto partition_a = bench::make_partition(ds.graph, parts_a);
   if (!json) {
-    std::printf("\n(a) %zu partitions (LDG+refine cut: %zu of %zu edges)\n",
-                parts_a, partition_a.edge_cut(ds.graph), ds.graph.num_edges());
+    std::printf(
+        "\n(a) %zu partitions, --mode=%s (LDG+refine cut: %zu of %zu edges)\n",
+        parts_a, run_spec.mode_name(), partition_a.edge_cut(ds.graph),
+        ds.graph.num_edges());
   }
   for (Workload workload : json ? std::initializer_list<Workload>{}
                                 : std::initializer_list<Workload>{
@@ -75,12 +77,14 @@ int main(int argc, char** argv) {
       const std::size_t num_batches = bench::batches_for(bs, quick ? 200 : 2000);
       auto rc = make_dist_engine(
           "rc", model, ds.graph, ds.features, partition_a, nullptr,
-          bench::make_transport(transport_spec, parts_a));
+          bench::make_transport(run_spec, parts_a), SchedulerMode::kSteal,
+          run_spec.mode);
       const auto rc_run =
           bench::run_dist_stream(*rc, prepared.stream, bs, num_batches);
       auto rp = make_dist_engine(
           "ripple", model, ds.graph, ds.features, partition_a, nullptr,
-          bench::make_transport(transport_spec, parts_a));
+          bench::make_transport(run_spec, parts_a), SchedulerMode::kSteal,
+          run_spec.mode);
       const auto rp_run =
           bench::run_dist_stream(*rp, prepared.stream, bs, num_batches);
       table.add_row(
@@ -106,48 +110,59 @@ int main(int argc, char** argv) {
   const std::size_t bs_scaling =
       static_cast<std::size_t>(batch_sizes.back());
   if (!json) {
-    std::printf("\n(b)+(c) strong scaling, GC-S-3L, batch size %zu (%s comm)\n",
-                bs_scaling, transport_spec.is_tcp() ? "measured" : "modeled");
+    std::printf(
+        "\n(b)+(c) strong scaling, GC-S-3L, batch size %zu, --mode=%s "
+        "(%s comm)\n",
+        bs_scaling, run_spec.mode_name(),
+        run_spec.is_tcp() ? "measured" : "modeled");
   }
+  // Stall columns: BSP shows the worst rank's barrier waits, async shows
+  // the worst rank's poll-loop idle — the quantity the barrier-free epoch
+  // exists to shrink (docs/async.md).
   TextTable table({"Parts", "Edge cut", "RC up/s", "Ripple up/s",
                    "RC comp (s)", "RC comm (s)", "RP comp (s)", "RP comm (s)",
-                   "RC bytes", "RP bytes", "Comm ratio", "RC rank mem",
-                   "RP rank mem"});
+                   "RC stall (s)", "RP stall (s)", "RC bytes", "RP bytes",
+                   "Comm ratio", "RC rank mem", "RP rank mem"});
   for (const auto parts : part_counts) {
     const auto partition =
         bench::make_partition(ds.graph, static_cast<std::size_t>(parts));
     const std::size_t num_batches = quick ? 2 : 4;
     auto rc = make_dist_engine(
         "rc", model, ds.graph, ds.features, partition, nullptr,
-        bench::make_transport(transport_spec,
-                              static_cast<std::size_t>(parts)));
+        bench::make_transport(run_spec, static_cast<std::size_t>(parts)),
+        SchedulerMode::kSteal, run_spec.mode);
     const auto rc_run =
         bench::run_dist_stream(*rc, prepared.stream, bs_scaling, num_batches);
     auto rp = make_dist_engine(
         "ripple", model, ds.graph, ds.features, partition, nullptr,
-        bench::make_transport(transport_spec,
-                              static_cast<std::size_t>(parts)));
+        bench::make_transport(run_spec, static_cast<std::size_t>(parts)),
+        SchedulerMode::kSteal, run_spec.mode);
     const auto rp_run =
         bench::run_dist_stream(*rp, prepared.stream, bs_scaling, num_batches);
     if (json) {
       for (const auto* run : {&rc_run, &rp_run}) {
         std::printf(
             "{\"bench\":\"fig12_dist\",\"dataset\":\"papers-s\","
-            "\"engine\":\"%s\",\"parts\":%lld,\"edge_cut\":%zu,"
-            "\"batch_size\":%zu,\"num_batches\":%zu,"
+            "\"engine\":\"%s\",\"mode\":\"%s\",\"parts\":%lld,"
+            "\"edge_cut\":%zu,\"batch_size\":%zu,\"num_batches\":%zu,"
             "\"throughput_ups\":%.6g,\"compute_sec\":%.6g,"
-            "\"comm_sec\":%.6g,\"comm_measured\":%s,"
+            "\"comm_sec\":%.6g,\"epoch_sec\":%.6g,"
+            "\"barrier_wait_sec\":%.6g,\"idle_sec\":%.6g,"
+            "\"token_messages\":%zu,\"comm_measured\":%s,"
             "\"wire_bytes\":%zu,\"wire_messages\":%zu,"
             "\"rank_memory_bytes\":%zu}\n",
-            run->engine.c_str(), static_cast<long long>(parts),
-            partition.edge_cut(ds.graph), run->batch_size, run->num_batches,
-            run->throughput_ups, run->compute_sec, run->comm_sec,
+            run->engine.c_str(), run_spec.mode_name(),
+            static_cast<long long>(parts), partition.edge_cut(ds.graph),
+            run->batch_size, run->num_batches, run->throughput_ups,
+            run->compute_sec, run->comm_sec, run->epoch_sec,
+            run->barrier_wait_sec, run->idle_sec, run->token_messages,
             run->comm_measured ? "true" : "false", run->wire_bytes,
             run->wire_messages, run->rank_memory_bytes);
       }
       std::fflush(stdout);
       continue;
     }
+    const bool async = run_spec.mode == ExecMode::kAsync;
     table.add_row(
         {TextTable::fmt_int(parts),
          TextTable::fmt_si(static_cast<double>(partition.edge_cut(ds.graph))),
@@ -157,6 +172,8 @@ int main(int argc, char** argv) {
          TextTable::fmt(rc_run.comm_sec, 3),
          TextTable::fmt(rp_run.compute_sec, 3),
          TextTable::fmt(rp_run.comm_sec, 3),
+         TextTable::fmt(async ? rc_run.idle_sec : rc_run.barrier_wait_sec, 3),
+         TextTable::fmt(async ? rp_run.idle_sec : rp_run.barrier_wait_sec, 3),
          TextTable::fmt_si(static_cast<double>(rc_run.wire_bytes)),
          TextTable::fmt_si(static_cast<double>(rp_run.wire_bytes)),
          rp_run.wire_bytes > 0

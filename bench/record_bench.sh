@@ -9,10 +9,13 @@
 #     dispatched tier, so kernels x precision is covered);
 #   * bench_parallel_scaling --quick (end-to-end engine throughput) across
 #     --precision x --kernels;
-#   * bench_fig12_dist_papers --quick --json (distributed scaling sweep):
-#     throughput, wire traffic, and rank_memory_bytes — the PER-RANK
-#     resident footprint (owned rows + halo), which must shrink as the
-#     partition count grows.
+#   * bench_fig12_dist_papers --quick --json at --mode=bsp AND
+#     --mode=async (distributed scaling sweep): throughput, wire traffic,
+#     rank_memory_bytes — the PER-RANK resident footprint (owned rows +
+#     halo), which must shrink as the partition count grows — and the
+#     bsp-vs-async stall split (barrier_wait_sec vs idle_sec/epoch_sec),
+#     the committed record that the barrier-free epoch models below the
+#     BSP total for the same stream (docs/async.md).
 #
 # Output is one JSON document: header with the machine's dispatched kernel
 # tier + host info, then "runs": the JSON-lines rows scraped verbatim from
@@ -53,8 +56,10 @@ for precision in f32 bf16 int8; do
   done
 done
 
-"$build/bench_fig12_dist_papers" --quick --json \
-  >>"$rows_file" 2>>"$diag_file"
+for mode in bsp async; do
+  "$build/bench_fig12_dist_papers" --quick --json --mode="$mode" \
+    >>"$rows_file" 2>>"$diag_file"
+done
 
 # micro_kernels prints "dispatched tier=<isa>" on stderr; that is the
 # machine's auto-dispatch answer (avx512/avx2/sse2/scalar).

@@ -19,7 +19,9 @@ ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
 # rows), the halo-cache invalidation tests, and the memory-scaling
 # property (a P=4 rank under half the P=1 footprint) — plus the
 # wire-precision conformance test (--wire-precision=bf16 halves row
-# payloads, tcp bit-identical to sim).
+# payloads, tcp bit-identical to sim) and the --mode=async conformance
+# axis (hop-stamped row frames + the Safra token ring over real sockets,
+# bit-identical to BSP and to sim; see docs/async.md).
 RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
   -j "$(nproc)"
 
@@ -32,6 +34,12 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$(nproc)"
 ctest --test-dir build-tsan -L unit --output-on-failure -j "$(nproc)"
+# TSan also sweeps the async axes: the dependency-counted pending-cell
+# worklists and the Safra termination ring (--mode=async) interleave
+# stealing workers with serial credit bookkeeping, exactly the shape TSan
+# exists to check.
+ctest --test-dir build-tsan -R "dist_engine|dist_termination|dist_async" \
+  --output-on-failure -j "$(nproc)"
 
 # AddressSanitizer + UndefinedBehaviorSanitizer pass over the unit and
 # dist tiers (complements TSan, which cannot see heap overflows or UB):

@@ -40,10 +40,19 @@ inline BspTiming bsp_timing_of(const Transport& transport) {
 // returns the phase cost: the slowest partition's elapsed seconds
 // (kModeled) or the whole dispatch's wall clock (kMeasured). body must only
 // write partition-owned state.
+//
+// wait_out (optional, modeled only): per-partition barrier-stall
+// accumulator. Under the BSP max rule every machine waits at the phase
+// barrier for the slowest one, so partition p stalls (phase max − its own
+// endpoint) — accumulated here so benches can report how much of a batch
+// was barrier wait (exactly the time --mode=async removes). Measured runs
+// skip it: a real rank's stall is observed at the transport barrier
+// instead (Transport::superstep_wait_sec).
 template <typename Body>
 double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
                         const Body& body,
-                        BspTiming timing = BspTiming::kModeled) {
+                        BspTiming timing = BspTiming::kModeled,
+                        std::vector<double>* wait_out = nullptr) {
   const StopWatch phase_watch;
   std::vector<double> elapsed(num_parts, 0.0);
   const auto timed = [&](std::size_t lo, std::size_t hi) {
@@ -59,7 +68,13 @@ double timed_over_parts(ThreadPool* pool, std::size_t num_parts,
     timed(0, num_parts);
   }
   if (timing == BspTiming::kMeasured) return phase_watch.elapsed_sec();
-  return *std::max_element(elapsed.begin(), elapsed.end());
+  const double worst = *std::max_element(elapsed.begin(), elapsed.end());
+  if (wait_out != nullptr) {
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      (*wait_out)[p] += worst - elapsed[p];
+    }
+  }
+  return worst;
 }
 
 // Work-stealing variant of timed_over_parts for phases whose per-partition
@@ -91,7 +106,8 @@ double timed_over_part_tasks(WorkStealingScheduler& scheduler,
                              std::size_t num_parts,
                              const std::vector<PartTask>& tasks,
                              const Body& body,
-                             BspTiming timing = BspTiming::kModeled) {
+                             BspTiming timing = BspTiming::kModeled,
+                             std::vector<double>* wait_out = nullptr) {
   const StopWatch phase_watch;
   std::vector<std::size_t> costs(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) costs[i] = tasks[i].cost;
@@ -109,9 +125,16 @@ double timed_over_part_tasks(WorkStealingScheduler& scheduler,
     sum[tasks[i].part] += task_sec[i];
     longest[tasks[i].part] = std::max(longest[tasks[i].part], task_sec[i]);
   }
+  std::vector<double> endpoint(num_parts, 0.0);
   double slowest = 0.0;
   for (std::size_t p = 0; p < num_parts; ++p) {
-    slowest = std::max(slowest, std::max(sum[p] / width, longest[p]));
+    endpoint[p] = std::max(sum[p] / width, longest[p]);
+    slowest = std::max(slowest, endpoint[p]);
+  }
+  if (wait_out != nullptr) {
+    for (std::size_t p = 0; p < num_parts; ++p) {
+      (*wait_out)[p] += slowest - endpoint[p];
+    }
   }
   return slowest;
 }
@@ -120,10 +143,18 @@ double timed_over_part_tasks(WorkStealingScheduler& scheduler,
 // (sender sorts, exchange destination scans) partition-by-partition and
 // bill the max endpoint when modeling, or the loop's real wall clock when
 // measuring. `per_part` receives each partition's measured seconds.
+// wait_out: same modeled barrier-stall accumulator as timed_over_parts.
 inline double serial_phase_cost(const std::vector<double>& per_part,
-                                double wall_sec, BspTiming timing) {
+                                double wall_sec, BspTiming timing,
+                                std::vector<double>* wait_out = nullptr) {
   if (timing == BspTiming::kMeasured) return wall_sec;
-  return *std::max_element(per_part.begin(), per_part.end());
+  const double worst = *std::max_element(per_part.begin(), per_part.end());
+  if (wait_out != nullptr) {
+    for (std::size_t p = 0; p < per_part.size(); ++p) {
+      (*wait_out)[p] += worst - per_part[p];
+    }
+  }
+  return worst;
 }
 
 // Ingress routing: the leader (partition 0) ships the batch to every other

@@ -39,6 +39,21 @@ namespace ripple {
 
 class ThreadPool;
 
+// Execution mode of the distributed engines (--mode). kBsp runs the classic
+// per-hop superstep barriers; kAsync replaces the hop barriers with one
+// barrier-free epoch per batch: dependency-counted pending-delta worklists,
+// eager application of frames as they arrive, and Safra-token termination
+// detection (dist/termination.h, docs/async.md). Async converges to the
+// SAME fixed point — embeddings bit-equal to BSP and single-machine after
+// quiescence — it just gets there without coupling the ranks per hop.
+enum class ExecMode { kBsp, kAsync };
+
+const char* exec_mode_name(ExecMode mode);
+// Parses "bsp" / "async"; dies with a message on anything else.
+ExecMode parse_exec_mode(const std::string& name);
+// The accepted --mode values, for Flags::get_choice.
+const std::vector<std::string>& exec_mode_choices();
+
 // Per-batch outcome of a distributed engine: the compute/comm split and the
 // wire counters behind Figs. 12–13. On the simulated transport,
 // compute_sec models P machines running in parallel (sum over supersteps
@@ -52,16 +67,42 @@ struct DistBatchResult {
   std::size_t affected_final = 0;         // |affected set| at hop L
   double compute_sec = 0;
   double comm_sec = 0;
+  // Async mode only: seconds of the barrier-free propagation epoch (the
+  // part that replaces the per-hop supersteps). Modeled on sim as the
+  // slowest rank's max(busy, epoch-comm) — non-blocking sends and polls
+  // overlap the NIC with the worklist CPU, and there is no per-hop max
+  // coupling, two reductions BSP's barriers forbid; measured wall clock on
+  // tcp. 0 in BSP mode (hops bill into compute_sec/comm_sec instead).
+  double epoch_sec = 0;
   // True when the transport measures real seconds (Transport::
   // measures_time()): benches must not average modeled and measured runs.
   bool comm_measured = false;
   std::size_t wire_bytes = 0;     // payload + headers, all supersteps
   std::size_t wire_messages = 0;  // messages across all supersteps
+  std::size_t token_messages = 0;  // termination tokens (async control)
+  // Per-partition barrier stall (BSP): time spent waiting at superstep
+  // barriers behind slower endpoints — modeled on sim (slowest endpoint
+  // minus own), measured on tcp (only the local rank's slot is filled).
+  // This is exactly the time --mode=async removes.
+  std::vector<double> barrier_wait_sec;
+  // Per-partition idle time inside an async epoch (makespan minus own
+  // busy+comm on sim; measured no-progress poll time on tcp).
+  std::vector<double> idle_sec;
   // Work-stealing scheduler stats of the apply phases (all-zero on the
   // static scheduler): see common/scheduler.h and the BSP accounting note
   // in src/dist/README.md.
   SchedulerStats sched;
-  double total_sec() const { return compute_sec + comm_sec; }
+  double total_sec() const { return compute_sec + comm_sec + epoch_sec; }
+  double barrier_wait_max() const {
+    double worst = 0;
+    for (const double v : barrier_wait_sec) worst = std::max(worst, v);
+    return worst;
+  }
+  double idle_max() const {
+    double worst = 0;
+    for (const double v : idle_sec) worst = std::max(worst, v);
+    return worst;
+  }
 };
 
 class DistEngineBase {
@@ -111,7 +152,8 @@ std::unique_ptr<DistEngineBase> make_dist_engine(
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool = nullptr,
     const TransportOptions& options = default_transport_options(),
-    SchedulerMode scheduler = SchedulerMode::kSteal);
+    SchedulerMode scheduler = SchedulerMode::kSteal,
+    ExecMode mode = ExecMode::kBsp);
 
 // Backend-explicit overload: the caller supplies the transport (e.g. a
 // TcpTransport wired to its rank's peers). transport->num_parts() must
@@ -121,7 +163,19 @@ std::unique_ptr<DistEngineBase> make_dist_engine(
     const DynamicGraph& snapshot, const Matrix& features,
     const Partition& partition, ThreadPool* pool,
     std::unique_ptr<Transport> transport,
-    SchedulerMode scheduler = SchedulerMode::kSteal);
+    SchedulerMode scheduler = SchedulerMode::kSteal,
+    ExecMode mode = ExecMode::kBsp);
+
+// Shared async-epoch timing epilogue: fills epoch_sec and idle_sec from the
+// per-partition machine-busy seconds accumulated across one barrier-free
+// epoch. Measured transports report the epoch's wall clock (idle = wall −
+// own busy); modeled ones take the makespan max_p(max(busy_p, epoch traffic
+// of p)) — NIC/CPU overlap per rank and NO per-hop max coupling, the two
+// reductions that put async's modeled epoch below the BSP hop total for the
+// same work (docs/async.md).
+void finish_epoch_timing(const Transport& transport,
+                         const std::vector<double>& busy_sec, double wall_sec,
+                         DistBatchResult& result);
 
 // Shared gather_embeddings() implementation: every hosted non-leader
 // partition ships its owned rows (H^0..H^L concatenated per vertex) to the

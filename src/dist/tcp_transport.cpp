@@ -264,7 +264,7 @@ void TcpTransport::send(std::size_t src, std::size_t dst, VertexId sender,
     wire::append_payload_frame(peer.sendbuf, sender,
                                static_cast<std::uint32_t>(src), row);
   }
-  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+  maybe_flush(peer);
 }
 
 void TcpTransport::send_opaque(std::size_t src, std::size_t dst,
@@ -279,7 +279,7 @@ void TcpTransport::send_opaque(std::size_t src, std::size_t dst,
   wire::append_opaque_frame(peer.sendbuf, static_cast<std::uint32_t>(src),
                             static_cast<std::uint32_t>(dst), payload_bytes,
                             num_messages);
-  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+  maybe_flush(peer);
 }
 
 void TcpTransport::send_exact(std::size_t src, std::size_t dst,
@@ -295,7 +295,17 @@ void TcpTransport::send_exact(std::size_t src, std::size_t dst,
   Peer& peer = peers_[dst];
   wire::append_payload_frame(peer.sendbuf, sender,
                              static_cast<std::uint32_t>(src), payload);
-  if (peer.sendbuf.size() - peer.sent > kFlushThreshold) flush_some(peer);
+  maybe_flush(peer);
+}
+
+void TcpTransport::maybe_flush(Peer& peer) {
+  if (peer.sendbuf.size() - peer.sent <= kFlushThreshold) return;
+  if (!flush_some(peer)) {
+    // Kernel send buffer full — the peer is probably mid-send toward us as
+    // well. Draining our inbound here lets both sides make progress instead
+    // of buffering toward each other until the barrier.
+    poll_once(0);
+  }
 }
 
 bool TcpTransport::flush_some(Peer& peer) {
@@ -318,6 +328,7 @@ bool TcpTransport::flush_some(Peer& peer) {
 
 void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
   Peer& peer = peers_[peer_rank];
+  ++dispatched_frames_;
   switch (frame.type) {
     case wire::FrameType::payload:
     case wire::FrameType::payload_bf16: {
@@ -348,6 +359,32 @@ void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
                                                 << peer.barriers_seen);
       ++peer.barriers_seen;
       break;
+    case wire::FrameType::row: {
+      // Async epoch rows never cross an epoch boundary (a peer cannot reach
+      // the next epoch without our superstep barrier in between), so no
+      // staging: straight onto the arrival queue in wire order.
+      RIPPLE_CHECK_MSG(frame.src_part == peer_rank,
+                       "row frame src_part " << frame.src_part
+                                             << " from rank " << peer_rank);
+      AsyncFrame out;
+      out.sender = frame.sender;
+      out.src_part = frame.src_part;
+      out.hop = frame.hop;
+      out.row = std::move(frame.row);
+      async_arrivals_.push_back(std::move(out));
+      break;
+    }
+    case wire::FrameType::token: {
+      AsyncFrame out;
+      out.src_part = frame.src_part;
+      out.is_token = true;
+      out.token = TerminationToken{.round = frame.token_round,
+                                   .count = frame.token_count,
+                                   .black = frame.token_black,
+                                   .done = frame.token_done};
+      async_arrivals_.push_back(std::move(out));
+      break;
+    }
   }
 }
 
@@ -376,6 +413,34 @@ void TcpTransport::drain_ready(Peer& peer) {
   }
 }
 
+std::size_t TcpTransport::poll_once(int timeout_ms) {
+  if (num_parts() == 1) return 0;
+  const std::size_t before = dispatched_frames_;
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> fd_rank;
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    if (p == rank_) continue;
+    Peer& peer = peers_[p];
+    if (peer.eof) continue;
+    pollfd pfd{};
+    pfd.fd = peer.fd;
+    pfd.events = static_cast<short>(
+        POLLIN | (peer.sent < peer.sendbuf.size() ? POLLOUT : 0));
+    fds.push_back(pfd);
+    fd_rank.push_back(p);
+  }
+  if (fds.empty()) return 0;
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0 && errno == EINTR) return 0;
+  RIPPLE_CHECK_MSG(ready >= 0, "poll: " << std::strerror(errno));
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    Peer& peer = peers_[fd_rank[i]];
+    if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) drain_ready(peer);
+    if (fds[i].revents & POLLOUT) flush_some(peer);
+  }
+  return dispatched_frames_ - before;
+}
+
 double TcpTransport::end_superstep() {
   const StopWatch watch;
   const std::uint64_t superstep = completed_;
@@ -384,43 +449,34 @@ double TcpTransport::end_superstep() {
     wire::append_barrier_frame(peers_[p].sendbuf,
                                static_cast<std::uint32_t>(rank_), superstep);
   }
-  std::vector<pollfd> fds;
-  std::vector<std::size_t> fd_rank;
+  // The loop is poll_once-driven; the bookkeeping here only decides when we
+  // are done and when our own egress finished (the barrier-stall split).
+  double writes_done_at = -1.0;
   for (;;) {
-    fds.clear();
-    fd_rank.clear();
-    bool done = true;
+    bool writes_pending = false;
+    bool barrier_pending = false;
     for (std::size_t p = 0; p < num_parts(); ++p) {
       if (p == rank_) continue;
       Peer& peer = peers_[p];
-      const bool writes_pending =
-          peer.sent < peer.sendbuf.size() && !flush_some(peer);
-      const bool barrier_pending = peer.barriers_seen <= superstep;
-      if (!writes_pending && !barrier_pending) continue;
-      RIPPLE_CHECK_MSG(!(barrier_pending && peer.eof),
-                       "rank " << p << " closed its connection before its "
-                               << "barrier for superstep " << superstep);
-      done = false;
-      pollfd pfd{};
-      pfd.fd = peer.fd;
-      pfd.events = static_cast<short>((barrier_pending ? POLLIN : 0) |
-                                      (writes_pending ? POLLOUT : 0));
-      fds.push_back(pfd);
-      fd_rank.push_back(p);
+      if (peer.sent < peer.sendbuf.size() && !flush_some(peer)) {
+        writes_pending = true;
+      }
+      if (peer.barriers_seen <= superstep) {
+        RIPPLE_CHECK_MSG(!peer.eof,
+                         "rank " << p << " closed its connection before its "
+                                 << "barrier for superstep " << superstep);
+        barrier_pending = true;
+      }
     }
-    if (done) break;
+    if (writes_done_at < 0 && !writes_pending) {
+      writes_done_at = watch.elapsed_sec();
+    }
+    if (!writes_pending && !barrier_pending) break;
     RIPPLE_CHECK_MSG(watch.elapsed_sec() < barrier_timeout_sec_,
                      "tcp barrier for superstep " << superstep
                                                   << " timed out at rank "
                                                   << rank_);
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
-    if (ready < 0 && errno == EINTR) continue;
-    RIPPLE_CHECK_MSG(ready >= 0, "poll: " << std::strerror(errno));
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      Peer& peer = peers_[fd_rank[i]];
-      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) drain_ready(peer);
-      if (fds[i].revents & POLLOUT) flush_some(peer);
-    }
+    poll_once(/*timeout_ms=*/100);
   }
   // Canonical delivery: ascending sending rank, per-rank arrival order.
   // Within one sender this matches SimTransport's send order; across
@@ -433,7 +489,74 @@ double TcpTransport::end_superstep() {
     staged_by_src_[p].clear();
   }
   ++completed_;
-  return watch.elapsed_sec();
+  const double elapsed = watch.elapsed_sec();
+  // Measured stall: from our egress finishing to the last peer's barrier.
+  last_barrier_wait_sec_ =
+      writes_done_at >= 0 ? elapsed - writes_done_at : 0.0;
+  return elapsed;
+}
+
+double TcpTransport::superstep_wait_sec(std::size_t part) const {
+  return part == rank_ ? last_barrier_wait_sec_ : 0.0;
+}
+
+// ---- async epoch backend ----
+
+void TcpTransport::begin_epoch() {
+  // Nothing to reset: async_arrivals_ may legitimately hold early frames of
+  // THIS epoch (landed while the previous superstep's barrier drained).
+}
+
+void TcpTransport::send_row(std::size_t src, std::size_t dst, VertexId sender,
+                            std::uint32_t hop,
+                            std::span<const float> payload) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  RIPPLE_CHECK_MSG(src == rank_,
+                   "rank " << rank_ << " cannot transmit for partition "
+                           << src << " (owner routing)");
+  // Wire-rounded and counted like send(); framed f32 either way (the
+  // rounding already happened, so the bits survive — see wire_format.h).
+  const std::span<const float> row = round_row_for_wire(payload);
+  count_wire(row_wire_bytes(row.size()), 1);
+  Peer& peer = peers_[dst];
+  wire::append_row_frame(peer.sendbuf, sender,
+                         static_cast<std::uint32_t>(src), hop, row);
+  maybe_flush(peer);
+}
+
+void TcpTransport::send_token(std::size_t src, std::size_t dst,
+                              const TerminationToken& token) {
+  RIPPLE_CHECK_MSG(src != dst, "local traffic must not touch the wire");
+  RIPPLE_CHECK_MSG(src == rank_,
+                   "rank " << rank_ << " cannot transmit for partition "
+                           << src << " (owner routing)");
+  count_token();
+  Peer& peer = peers_[dst];
+  wire::append_token_frame(peer.sendbuf, static_cast<std::uint32_t>(src),
+                          token.round, token.count, token.black, token.done);
+  // Tokens gate epoch termination: flush eagerly, never queue behind the
+  // threshold.
+  flush_some(peer);
+}
+
+std::size_t TcpTransport::poll_async(std::size_t part,
+                                     std::vector<AsyncFrame>& out,
+                                     int timeout_ms) {
+  RIPPLE_CHECK_MSG(part == rank_, "rank " << rank_ << " cannot poll for "
+                                          << part << " (owner routing)");
+  poll_once(timeout_ms);
+  const std::size_t n = async_arrivals_.size();
+  for (AsyncFrame& frame : async_arrivals_) out.push_back(std::move(frame));
+  async_arrivals_.clear();
+  return n;
+}
+
+void TcpTransport::end_epoch() {
+  // Termination proved global quiescence, and the next epoch's frames
+  // cannot arrive before our next superstep barrier — anything still queued
+  // here is a protocol bug.
+  RIPPLE_CHECK_MSG(async_arrivals_.empty(),
+                   "async frames left at epoch end on rank " << rank_);
 }
 
 }  // namespace ripple

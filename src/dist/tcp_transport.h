@@ -87,6 +87,32 @@ class TcpTransport final : public Transport {
   bool measures_time() const override { return true; }
   bool hosts(std::size_t part) const override { return part == rank_; }
 
+  // One round of non-blocking transport progress: flushes every peer's
+  // pending writes and drains every readable socket, dispatching decoded
+  // frames (superstep payloads staged for their superstep, async rows and
+  // tokens onto the epoch arrival queue). The single poll primitive behind
+  // end_superstep's barrier loop, the async epoch loop, AND the mid-
+  // superstep backpressure path — send() calls it when the kernel send
+  // buffer fills, so receives overlap sends in BSP mode too instead of
+  // both sides buffering toward each other. timeout_ms > 0 blocks in
+  // ::poll up to that long. Returns the number of frames dispatched.
+  std::size_t poll_once(int timeout_ms = 0);
+
+  // Async epoch backend (--mode=async): rows and tokens are framed like
+  // superstep traffic and dispatched out of poll_once as they arrive —
+  // no staging, no barrier. Delivery is per-peer TCP FIFO.
+  void begin_epoch() override;
+  void send_row(std::size_t src, std::size_t dst, VertexId sender,
+                std::uint32_t hop, std::span<const float> payload) override;
+  void send_token(std::size_t src, std::size_t dst,
+                  const TerminationToken& token) override;
+  std::size_t poll_async(std::size_t part, std::vector<AsyncFrame>& out,
+                         int timeout_ms = 0) override;
+  void end_epoch() override;
+  // Measured barrier stall of the LAST end_superstep: wall time between
+  // this rank's writes finishing and the final peer barrier arriving.
+  double superstep_wait_sec(std::size_t part) const override;
+
  protected:
   const char* name_impl() const override { return "tcp"; }
 
@@ -106,6 +132,10 @@ class TcpTransport final : public Transport {
   bool flush_some(Peer& peer);   // true when sendbuf fully flushed
   void drain_ready(Peer& peer);  // non-blocking read + frame dispatch
   void dispatch(std::size_t peer_rank, wire::Frame&& frame);
+  // Backpressure valve on the send paths: past the flush threshold, try to
+  // flush; if the kernel buffer is full, run poll_once(0) so inbound frames
+  // drain while we wait for egress room.
+  void maybe_flush(Peer& peer);
 
   std::size_t rank_ = 0;
   double barrier_timeout_sec_ = 120.0;
@@ -116,6 +146,13 @@ class TcpTransport final : public Transport {
   // rank; flushed into inbox(rank_) in ascending src_part order at the end
   // of the barrier (matches SimTransport's global send order).
   std::vector<std::vector<wire::Frame>> staged_by_src_;
+  // Async row/token frames decoded by poll_once, in arrival order, waiting
+  // for the engine's next poll_async. Retained across epoch boundaries: a
+  // frame that lands between end_epoch and the next begin_epoch already
+  // belongs to the next epoch (the superstep barrier in between proves it).
+  std::vector<AsyncFrame> async_arrivals_;
+  std::size_t dispatched_frames_ = 0;      // cumulative, for poll_once deltas
+  double last_barrier_wait_sec_ = 0.0;
 };
 
 }  // namespace ripple

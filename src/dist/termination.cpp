@@ -1,0 +1,78 @@
+#include "dist/termination.h"
+
+#include "common/check.h"
+
+namespace ripple {
+
+TerminationDetector::TerminationDetector(std::size_t rank, std::size_t world)
+    : rank_(rank), world_(world) {
+  RIPPLE_CHECK_MSG(world >= 1 && rank < world,
+                   "termination detector rank " << rank << " of " << world);
+}
+
+void TerminationDetector::begin_epoch() {
+  sent_ = 0;
+  received_ = 0;
+  black_ = false;
+  terminated_ = false;
+  rounds_ = 0;
+  // Rank 0 holds a virgin token (round 0): its first try_forward starts the
+  // first circulation (or, with a single rank, evaluates immediately).
+  has_token_ = (rank_ == 0);
+  token_ = TerminationToken{};
+}
+
+void TerminationDetector::receive_token(const TerminationToken& token) {
+  RIPPLE_CHECK_MSG(!has_token_, "rank " << rank_
+                                        << " received a termination token "
+                                           "while already holding one");
+  token_ = token;
+  has_token_ = true;
+  if (token.done) terminated_ = true;
+}
+
+std::optional<TerminationToken> TerminationDetector::try_forward(
+    bool locally_idle) {
+  if (!has_token_ || !locally_idle) return std::nullopt;
+
+  if (!token_.done && rank_ == 0) {
+    if (token_.round == 0 && world_ > 1) {
+      // Virgin token: nothing circulated yet — start the first round.
+      rounds_ = 1;
+      black_ = false;
+      has_token_ = false;
+      return TerminationToken{.round = 1, .count = 0, .black = false,
+                              .done = false};
+    }
+    // A token came back around the ring (or world == 1): evaluate.
+    const bool quiet =
+        !token_.black && !black_ && (token_.count + sent_ - received_) == 0;
+    if (!quiet) {
+      rounds_ = token_.round + 1;
+      black_ = false;
+      has_token_ = false;
+      return TerminationToken{.round = rounds_, .count = 0, .black = false,
+                              .done = false};
+    }
+    terminated_ = true;
+    token_.done = true;  // falls through to the announcement path below
+  }
+
+  if (token_.done) {
+    // Forward the DONE announcement along the ring; the last rank (whose
+    // successor is the initiator) drops it.
+    has_token_ = false;
+    if (next_rank() == 0) return std::nullopt;
+    return token_;
+  }
+
+  // Intermediate rank: fold in our credit, taint the token if we received
+  // since it last passed, whiten ourselves, pass it on.
+  token_.count += sent_ - received_;
+  token_.black = token_.black || black_;
+  black_ = false;
+  has_token_ = false;
+  return token_;
+}
+
+}  // namespace ripple

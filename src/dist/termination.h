@@ -1,0 +1,95 @@
+// Epoch termination detection for --mode=async (Safra's colored-token
+// algorithm, the classic four-counter/credit family Mattern surveys).
+//
+// In an async epoch there is no per-hop barrier: a rank is done only when
+// (a) its own worklists are drained AND (b) no delta row addressed to it is
+// still in flight anywhere. Neither is locally observable, so the ranks
+// agree via a token circulating the ring 0 -> 1 -> ... -> P-1 -> 0:
+//
+//   * every rank keeps c_i = (rows sent) - (rows received) for the epoch;
+//   * receiving a row colors the rank BLACK (it may have been activated
+//     after the token already passed it this round);
+//   * a rank holding the token forwards it only when locally idle, adding
+//     c_i to the token's count, blackening the token if the rank is black,
+//     and whitening itself;
+//   * the initiator (rank 0) declares termination when a returned token is
+//     white, rank 0 itself is white, and count + c_0 == 0. It then sends a
+//     DONE token around the ring so every rank exits the epoch.
+//
+// The count catches rows still in flight (sent but not received anywhere);
+// the color catches the send-before-token/receive-after-token race that
+// counts alone would miss. Tokens are control traffic: FrameType::token on
+// the wire, counted separately from row traffic.
+//
+// The detector is a pure state machine — no transport, no threads — so the
+// protocol is unit-testable on hand-built 2- and 4-rank message schedules
+// (tests/dist/test_termination.cpp): late tokens, a message in flight while
+// the token circulates, and the empty-epoch fast path (one round).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace ripple {
+
+struct TerminationToken {
+  std::uint64_t round = 0;   // which circulation this is (diagnostics)
+  std::int64_t count = 0;    // accumulated sum of per-rank (sent - received)
+  bool black = false;        // a visited rank received a row this round
+  bool done = false;         // announcement: the epoch is over, exit
+};
+
+class TerminationDetector {
+ public:
+  TerminationDetector(std::size_t rank, std::size_t world);
+
+  // Resets counters/colors for a new epoch. Rank 0 starts holding a fresh
+  // white token; everyone starts white (an empty epoch therefore terminates
+  // in a single circulation — the fast path).
+  void begin_epoch();
+
+  // Row-traffic hooks (tokens must NOT be counted here).
+  void on_send(std::size_t n = 1) { sent_ += static_cast<std::int64_t>(n); }
+  void on_receive(std::size_t n = 1) {
+    received_ += static_cast<std::int64_t>(n);
+    black_ = true;
+  }
+
+  // A token arrived from the ring predecessor.
+  void receive_token(const TerminationToken& token);
+
+  // Called whenever the rank might forward: returns the token to send to
+  // next_rank() if this rank holds one and is allowed to pass it on
+  // (`locally_idle` = worklists drained, all inbound frames consumed, sends
+  // flushed). Rank 0 evaluates the returned token here and either starts a
+  // new round or emits the DONE announcement. nullopt = nothing to send.
+  std::optional<TerminationToken> try_forward(bool locally_idle);
+
+  // The epoch is over for this rank (detected locally at rank 0, or a DONE
+  // token arrived). A finished rank may still owe one DONE forward — keep
+  // calling try_forward until finished().
+  bool terminated() const { return terminated_; }
+  // Terminated and no token left to forward: safe to leave the epoch loop.
+  bool finished() const { return terminated_ && !has_token_; }
+
+  std::size_t rank() const { return rank_; }
+  std::size_t next_rank() const { return (rank_ + 1) % world_; }
+  // Number of full circulations rank 0 started (test observability).
+  std::uint64_t rounds() const { return rounds_; }
+  std::int64_t sent() const { return sent_; }
+  std::int64_t received() const { return received_; }
+
+ private:
+  std::size_t rank_;
+  std::size_t world_;
+  std::int64_t sent_ = 0;
+  std::int64_t received_ = 0;
+  bool black_ = false;
+  bool has_token_ = false;
+  TerminationToken token_;
+  bool terminated_ = false;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace ripple

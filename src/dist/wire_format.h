@@ -25,6 +25,19 @@
 //   barrier  — u32 src_part, u64 superstep. End-of-superstep marker; a
 //              rank's superstep completes when every peer's barrier for
 //              the same superstep index arrived.
+//   token    — u32 src_part, u64 round, i64 count, u8 black, u8 done.
+//              Safra-style termination token for --mode=async epochs
+//              (dist/termination.h). Control traffic: counted separately
+//              from row traffic by the transport (token_messages), never
+//              in wire_bytes/wire_messages.
+//   row      — payload fields plus a leading u32 hop. Async epoch row: the
+//              hop index both routes the row to the right per-layer halo
+//              slot on the receiver and acts as the version stamp for the
+//              HaloCache write-through (a late frame must never regress a
+//              newer committed row). Rows travel f32 even under
+//              --wire-precision=bf16 — the sender has already rounded, so
+//              bits are preserved; byte COUNTERS still use the bf16 size
+//              so sim and tcp accounting agree.
 //
 // The encoder appends to a byte vector (the per-peer send queue); the
 // decoder is incremental — feed it arbitrary chunks as they arrive off a
@@ -45,6 +58,8 @@ enum class FrameType : std::uint8_t {
   opaque = 2,
   barrier = 3,
   payload_bf16 = 4,
+  token = 5,
+  row = 6,
 };
 
 struct Frame {
@@ -59,6 +74,13 @@ struct Frame {
   std::uint64_t num_messages = 0;
   // barrier fields (src_part shared above)
   std::uint64_t superstep = 0;
+  // row fields (payload fields shared above)
+  std::uint32_t hop = 0;
+  // token fields (src_part shared above)
+  std::uint64_t token_round = 0;
+  std::int64_t token_count = 0;
+  bool token_black = false;
+  bool token_done = false;
 };
 
 void append_payload_frame(std::vector<std::uint8_t>& out, VertexId sender,
@@ -76,6 +98,12 @@ void append_opaque_frame(std::vector<std::uint8_t>& out,
                          std::uint64_t num_messages);
 void append_barrier_frame(std::vector<std::uint8_t>& out,
                           std::uint32_t src_part, std::uint64_t superstep);
+void append_token_frame(std::vector<std::uint8_t>& out, std::uint32_t src_part,
+                        std::uint64_t round, std::int64_t count, bool black,
+                        bool done);
+void append_row_frame(std::vector<std::uint8_t>& out, VertexId sender,
+                      std::uint32_t src_part, std::uint32_t hop,
+                      std::span<const float> row);
 
 // Incremental decoder over a stream of frame bytes.
 class FrameDecoder {

@@ -1,0 +1,212 @@
+// Safra-token termination protocol unit tests (src/dist/termination.h) on
+// hand-built message schedules — no transport, no engine:
+//  1. Empty epoch: a world of idle ranks terminates in ONE circulation.
+//  2. A row in flight while the token circulates keeps count != 0: rank 0
+//     must start another round instead of declaring termination.
+//  3. The send-before-token / receive-after-token race: counters alone
+//     would balance, the receiver's BLACK color forces the extra round.
+//  4. Four-rank ring with late activity: no premature termination, DONE
+//     reaches every rank, finished() only after the last forward.
+//  5. world == 1: the virgin token self-evaluates immediately.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/termination.h"
+
+namespace ripple {
+namespace {
+
+// Steps the ring until quiescence: every rank repeatedly forwards whatever
+// token it holds (all ranks report locally idle). Returns the number of
+// token hops taken.
+std::size_t circulate_idle(std::vector<TerminationDetector>& ring) {
+  std::size_t hops = 0;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (auto& det : ring) {
+      if (auto token = det.try_forward(true)) {
+        ring[det.next_rank()].receive_token(*token);
+        ++hops;
+        moved = true;
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<TerminationDetector> make_ring(std::size_t world) {
+  std::vector<TerminationDetector> ring;
+  ring.reserve(world);
+  for (std::size_t r = 0; r < world; ++r) ring.emplace_back(r, world);
+  for (auto& det : ring) det.begin_epoch();
+  return ring;
+}
+
+TEST(Termination, EmptyEpochTerminatesInOneCirculation) {
+  auto ring = make_ring(3);
+  const std::size_t hops = circulate_idle(ring);
+  for (const auto& det : ring) {
+    EXPECT_TRUE(det.terminated());
+    EXPECT_TRUE(det.finished());
+  }
+  // One evaluation circulation (3 hops) + the DONE announcement (2 hops;
+  // the last rank before 0 swallows it).
+  EXPECT_EQ(hops, 5u);
+  EXPECT_EQ(ring[0].rounds(), 1u);
+}
+
+TEST(Termination, SingleRankWorldTerminatesImmediately) {
+  auto ring = make_ring(1);
+  EXPECT_FALSE(ring[0].finished());
+  EXPECT_FALSE(ring[0].try_forward(true).has_value());  // self-evaluates
+  EXPECT_TRUE(ring[0].terminated());
+  EXPECT_TRUE(ring[0].finished());
+}
+
+TEST(Termination, BusyRankHoldsTheToken) {
+  auto ring = make_ring(2);
+  // Rank 0 holds the virgin token but is not idle: nothing moves.
+  EXPECT_FALSE(ring[0].try_forward(false).has_value());
+  EXPECT_FALSE(ring[0].terminated());
+  // Once idle, the ring drains normally.
+  circulate_idle(ring);
+  EXPECT_TRUE(ring[0].finished());
+  EXPECT_TRUE(ring[1].finished());
+}
+
+TEST(Termination, InFlightRowKeepsCountNonzeroAndForcesAnotherRound) {
+  auto ring = make_ring(2);
+  // Rank 1 sends a row toward rank 0; the row is still in flight.
+  ring[1].on_send();
+  // Token leaves rank 0 (c_0 = 0), visits rank 1 (c_1 = +1), returns.
+  auto t0 = ring[0].try_forward(true);
+  ASSERT_TRUE(t0.has_value());
+  ring[1].receive_token(*t0);
+  auto t1 = ring[1].try_forward(true);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->count, 1);  // the in-flight row is visible in the count
+  ring[0].receive_token(*t1);
+  // Rank 0 evaluates: count != 0 -> NOT terminated, a new round starts.
+  auto t2 = ring[0].try_forward(true);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_FALSE(t2->done);
+  EXPECT_FALSE(ring[0].terminated());
+  EXPECT_EQ(ring[0].rounds(), 2u);
+  ring[1].receive_token(*t2);
+
+  // The row lands; the counters now balance and the next rounds terminate.
+  ring[0].on_receive();
+  circulate_idle(ring);
+  EXPECT_TRUE(ring[0].finished());
+  EXPECT_TRUE(ring[1].finished());
+}
+
+TEST(Termination, ReceiveAfterTokenPassedBlackensAndDelaysTermination) {
+  // The classic race Safra's colors exist for: rank 1 is visited by the
+  // token (reports c_1 = 0), THEN receives a row from rank 2 and reacts by
+  // sending one to rank 0 — all after their token visits. The counts the
+  // token accumulated this round still sum to zero; only the receivers'
+  // black marks (rows landed after their visits) prevent a false
+  // termination.
+  auto ring = make_ring(3);
+  auto t0 = ring[0].try_forward(true);
+  ASSERT_TRUE(t0.has_value());
+  ring[1].receive_token(*t0);
+  auto t1 = ring[1].try_forward(true);
+  ASSERT_TRUE(t1.has_value());
+
+  // Rank 2 sent a row to rank 1 earlier; it lands only now, after rank 1
+  // forwarded the token. Rank 1 reacts with a row to rank 0, which also
+  // lands immediately. Net counts: rank 1 (+1 sent, +1 recv), rank 0
+  // (+1 recv), rank 2 (+1 sent) — the round's remaining visits (2, then
+  // 0's evaluation) see a balanced sum, but ranks are black.
+  ring[2].on_send();
+  ring[1].on_receive();
+  ring[1].on_send();
+  ring[0].on_receive();
+
+  ring[2].receive_token(*t1);
+  auto t2 = ring[2].try_forward(true);
+  ASSERT_TRUE(t2.has_value());
+  ring[0].receive_token(*t2);
+  EXPECT_FALSE(ring[0].terminated());
+  auto next = ring[0].try_forward(true);
+  ASSERT_TRUE(next.has_value());
+  // A new evaluation round, not a DONE announcement.
+  EXPECT_FALSE(next->done);
+  EXPECT_FALSE(ring[0].terminated());
+
+  // Nothing else happens: the clean rounds that follow terminate the epoch.
+  ring[1].receive_token(*next);
+  circulate_idle(ring);
+  for (const auto& det : ring) EXPECT_TRUE(det.finished());
+}
+
+TEST(Termination, FourRankLateActivityNeverTerminatesEarly) {
+  auto ring = make_ring(4);
+  // A chain of activity racing the token: 0 -> 2, then 2 -> 3, then 3 -> 1.
+  ring[0].on_send();
+  auto t = ring[0].try_forward(true);
+  ASSERT_TRUE(t.has_value());
+  ring[1].receive_token(*t);
+  t = ring[1].try_forward(true);
+  ASSERT_TRUE(t.has_value());
+
+  ring[2].on_receive();  // 0's row lands at 2
+  ring[2].on_send();     // 2 reacts toward 3
+  ring[2].receive_token(*t);
+  t = ring[2].try_forward(true);
+  ASSERT_TRUE(t.has_value());
+
+  ring[3].on_receive();  // 2's row lands at 3
+  ring[3].on_send();     // 3 reacts toward 1
+  ring[3].receive_token(*t);
+  t = ring[3].try_forward(true);
+  ASSERT_TRUE(t.has_value());
+  ring[0].receive_token(*t);
+
+  // Rank 1 has not yet received 3's row — it is in flight. No termination.
+  EXPECT_FALSE(ring[0].terminated());
+  t = ring[0].try_forward(true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->done);
+
+  ring[1].on_receive();  // the last row lands
+  ring[1].receive_token(*t);
+  const std::size_t hops = circulate_idle(ring);
+  EXPECT_GT(hops, 0u);
+  for (const auto& det : ring) {
+    EXPECT_TRUE(det.terminated());
+    EXPECT_TRUE(det.finished());
+  }
+  // Every rank's epoch books balance at the end.
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+  for (const auto& det : ring) {
+    sent += det.sent();
+    received += det.received();
+  }
+  EXPECT_EQ(sent, received);
+}
+
+TEST(Termination, BeginEpochResetsForTheNextBatch) {
+  auto ring = make_ring(2);
+  ring[0].on_send();
+  ring[1].on_receive();
+  circulate_idle(ring);
+  ASSERT_TRUE(ring[0].finished());
+  // Next epoch starts from scratch: fresh virgin token at rank 0, white
+  // ranks, zeroed counters — and terminates cleanly again.
+  for (auto& det : ring) det.begin_epoch();
+  for (const auto& det : ring) EXPECT_FALSE(det.terminated());
+  EXPECT_EQ(ring[0].sent(), 0);
+  EXPECT_EQ(ring[1].received(), 0);
+  circulate_idle(ring);
+  EXPECT_TRUE(ring[0].finished());
+  EXPECT_TRUE(ring[1].finished());
+}
+
+}  // namespace
+}  // namespace ripple

@@ -116,6 +116,53 @@ TEST(WireFormat, Bf16PayloadRoundTripIsExactOnPreRoundedRows) {
   EXPECT_FALSE(decoder.next(frame));
 }
 
+TEST(WireFormat, RowFrameRoundTripCarriesHopStamp) {
+  const std::vector<float> row = {0.5f, -0.0f, std::nanf("7"),
+                                  std::numeric_limits<float>::denorm_min()};
+  std::vector<std::uint8_t> buf;
+  wire::append_row_frame(buf, /*sender=*/23, /*src_part=*/2, /*hop=*/3, row);
+  wire::FrameDecoder decoder;
+  decoder.feed(buf);
+  wire::Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, wire::FrameType::row);
+  EXPECT_EQ(frame.sender, 23u);
+  EXPECT_EQ(frame.src_part, 2u);
+  EXPECT_EQ(frame.hop, 3u);
+  ASSERT_EQ(frame.row.size(), row.size());
+  EXPECT_EQ(std::memcmp(frame.row.data(), row.data(),
+                        row.size() * sizeof(float)),
+            0);
+  EXPECT_FALSE(decoder.next(frame));
+}
+
+TEST(WireFormat, TokenFrameRoundTripSurvivesOneByteChunks) {
+  std::vector<std::uint8_t> buf;
+  wire::append_token_frame(buf, /*src_part=*/1, /*round=*/4,
+                           /*count=*/-17, /*black=*/true, /*done=*/false);
+  wire::append_token_frame(buf, /*src_part=*/0, /*round=*/5,
+                           /*count=*/0, /*black=*/false, /*done=*/true);
+  wire::FrameDecoder decoder;
+  std::vector<wire::Frame> frames;
+  wire::Frame frame;
+  for (const std::uint8_t byte : buf) {
+    decoder.feed(std::span<const std::uint8_t>(&byte, 1));
+    while (decoder.next(frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, wire::FrameType::token);
+  EXPECT_EQ(frames[0].src_part, 1u);
+  EXPECT_EQ(frames[0].token_round, 4u);
+  EXPECT_EQ(frames[0].token_count, -17);
+  EXPECT_TRUE(frames[0].token_black);
+  EXPECT_FALSE(frames[0].token_done);
+  EXPECT_EQ(frames[1].type, wire::FrameType::token);
+  EXPECT_EQ(frames[1].token_round, 5u);
+  EXPECT_EQ(frames[1].token_count, 0);
+  EXPECT_FALSE(frames[1].token_black);
+  EXPECT_TRUE(frames[1].token_done);
+}
+
 TEST(WireFormat, MalformedFrameThrows) {
   std::vector<std::uint8_t> buf;
   wire::append_barrier_frame(buf, 0, 1);
@@ -262,7 +309,8 @@ EmbeddingStore run_tcp_cluster(const char* key, const GnnModel& model,
                                bool use_pool, std::size_t batch_size,
                                std::uint64_t& wire_bytes,
                                std::uint64_t& wire_messages,
-                               const TransportOptions& options = {}) {
+                               const TransportOptions& options = {},
+                               ExecMode mode = ExecMode::kBsp) {
   const std::size_t num_parts = partition.num_parts();
   const auto results = run_loopback_ranks(
       num_parts, [&](const TcpConfig& config) -> std::vector<std::uint8_t> {
@@ -272,7 +320,8 @@ EmbeddingStore run_tcp_cluster(const char* key, const GnnModel& model,
             num_parts, options, config);
         auto engine =
             make_dist_engine(key, model, c.snapshot, c.features, partition,
-                             pool.get(), std::move(transport));
+                             pool.get(), std::move(transport),
+                             SchedulerMode::kSteal, mode);
         std::uint64_t bytes = 0;
         std::uint64_t messages = 0;
         bool measured = true;
@@ -531,6 +580,65 @@ TEST(TcpConformance, Bf16WireBitIdenticalToSimWithHalvedPayload) {
   EXPECT_LT(sim_bytes, f32_bytes);
 }
 
+// -------------------------------------------------- async over real sockets
+
+TEST(TcpConformance, AsyncModeBitIdenticalToBspOverTcp) {
+  // --mode=async conformance on real sockets: non-blocking poll loops,
+  // hop-stamped row frames, and the token ring between forked ranks must
+  // land on the same bits as the BSP barriers and the single-machine
+  // references.
+  const auto c = make_rmat_case(77);
+  const auto config = workload_config(Workload::gc_m, 8, 4, 2, 12);
+  const auto model = GnnModel::random(config, 79);
+  constexpr std::size_t kBatch = 9;
+  const auto batches = make_batches(c.stream, kBatch);
+
+  RippleEngine ripple_ref(model, c.snapshot, c.features);
+  RecomputeEngine rc_ref(model, c.snapshot, c.features);
+  for (const auto& batch : batches) {
+    ripple_ref.apply_batch(batch);
+    rc_ref.apply_batch(batch);
+  }
+
+  for (const std::size_t num_parts : {2, 4}) {
+    auto partition = ldg_partition(c.snapshot, num_parts);
+    refine_partition(c.snapshot, partition, 1);
+    for (const char* key : {"ripple", "rc"}) {
+      SCOPED_TRACE(std::string(key) + ", " + std::to_string(num_parts) +
+                   " parts, async");
+      std::uint64_t async_bytes = 0;
+      std::uint64_t async_messages = 0;
+      const EmbeddingStore tcp_store =
+          run_tcp_cluster(key, model, c, partition, /*use_pool=*/false,
+                          kBatch, async_bytes, async_messages,
+                          TransportOptions{}, ExecMode::kAsync);
+      const EmbeddingStore& ref = std::string(key) == "ripple"
+                                      ? ripple_ref.embeddings()
+                                      : rc_ref.embeddings();
+      EXPECT_EQ(testing::max_store_diff(tcp_store, ref), 0.0f);
+      EXPECT_GT(async_messages, 0u);
+
+      // The async epoch ships the same row set as the BSP exchange (row
+      // frames replace exchange payloads one for one), so the global wire
+      // counters match the BSP protocol exactly; tokens are counted
+      // separately and do not appear here.
+      std::uint64_t sim_bytes = 0;
+      std::uint64_t sim_messages = 0;
+      auto sim = make_dist_engine(key, model, c.snapshot, c.features,
+                                  partition, nullptr, TransportOptions{},
+                                  SchedulerMode::kSteal, ExecMode::kAsync);
+      for (const auto& batch : batches) {
+        const DistBatchResult result = sim->apply_batch(batch);
+        sim_bytes += result.wire_bytes;
+        sim_messages += result.wire_messages;
+      }
+      EXPECT_EQ(testing::max_store_diff(sim->gather_embeddings(), ref), 0.0f);
+      EXPECT_EQ(async_bytes, sim_bytes);
+      EXPECT_EQ(async_messages, sim_messages);
+    }
+  }
+}
+
 // ci.sh's dedicated tcp pass (RIPPLE_TRANSPORT=tcp): the multi-workload
 // exactness property routed over loopback ranks. Skipped by default so the
 // regular dist tier stays fast.
@@ -555,16 +663,19 @@ TEST(TcpConformance, MultiWorkloadExactnessOverTcp) {
     auto partition = ldg_partition(c.snapshot, 4);
     refine_partition(c.snapshot, partition, 1);
     for (const char* key : {"ripple", "rc"}) {
-      std::uint64_t bytes = 0;
-      std::uint64_t messages = 0;
-      const EmbeddingStore tcp_store = run_tcp_cluster(
-          key, model, c, partition, /*use_pool=*/true, kBatch, bytes,
-          messages);
-      const EmbeddingStore& ref = std::string(key) == "ripple"
-                                      ? ripple_ref.embeddings()
-                                      : rc_ref.embeddings();
-      EXPECT_EQ(testing::max_store_diff(tcp_store, ref), 0.0f) << key;
-      EXPECT_GT(messages, 0u) << key;
+      for (const ExecMode mode : {ExecMode::kBsp, ExecMode::kAsync}) {
+        SCOPED_TRACE(std::string(key) + ", mode " + exec_mode_name(mode));
+        std::uint64_t bytes = 0;
+        std::uint64_t messages = 0;
+        const EmbeddingStore tcp_store = run_tcp_cluster(
+            key, model, c, partition, /*use_pool=*/true, kBatch, bytes,
+            messages, TransportOptions{}, mode);
+        const EmbeddingStore& ref = std::string(key) == "ripple"
+                                        ? ripple_ref.embeddings()
+                                        : rc_ref.embeddings();
+        EXPECT_EQ(testing::max_store_diff(tcp_store, ref), 0.0f);
+        EXPECT_GT(messages, 0u);
+      }
     }
   }
 }
