@@ -105,6 +105,24 @@ struct DistRunMetrics {
   // mailbox shards + row map; see DistEngineBase::memory_bytes) — the
   // per-rank footprint that must SHRINK as partitions are added.
   std::size_t rank_memory_bytes = 0;
+  // Per-rank busy seconds accumulated across the run
+  // (DistBatchResult::busy_share_sec) — the skew detector's evidence and
+  // fig12's per-rank busy-share column.
+  std::vector<double> busy_sec;
+
+  // Worst rank's busy share over the ideal share (1.0 == balanced); the
+  // load-skew figure next to the structural Partition::balance().
+  double busy_imbalance() const {
+    if (busy_sec.empty()) return 1.0;
+    double total = 0;
+    double worst = 0;
+    for (const double v : busy_sec) {
+      total += v;
+      worst = std::max(worst, v);
+    }
+    const double mean = total / static_cast<double>(busy_sec.size());
+    return mean > 0 ? worst / mean : 1.0;
+  }
 };
 
 inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
@@ -127,6 +145,12 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
     metrics.comm_measured = result.comm_measured;
     metrics.wire_bytes += result.wire_bytes;
     metrics.wire_messages += result.wire_messages;
+    if (metrics.busy_sec.size() < result.num_parts) {
+      metrics.busy_sec.resize(result.num_parts, 0.0);
+    }
+    for (std::size_t p = 0; p < result.num_parts; ++p) {
+      metrics.busy_sec[p] += result.busy_share_sec(p);
+    }
     ++metrics.num_batches;
     if (max_batches != 0 && metrics.num_batches >= max_batches) break;
   }

@@ -1,0 +1,145 @@
+// Drifting-hot-region R-MAT stream: the workload that motivates online
+// vertex migration (docs/repartition.md).
+//
+// A base R-MAT graph takes a stream whose updates concentrate on a HOT
+// WINDOW of vertex ids; every `batches_per_window` batches the window
+// shifts to the next disjoint id range, so the load center drifts across
+// the graph over the run. Any partition fixed at load time is eventually
+// wrong for the current window: the window's freshly added edges keep
+// crossing partition boundaries, every crossing ships exchange rows and
+// pins halo entries that the (add-heavy) stream never releases. A policy
+// that migrates the hot vertices onto one rank un-cuts those edges —
+// exchange traffic for the window collapses and the halo slots free up for
+// the next window to reuse. The scenario bench (drift_scenario.cpp)
+// measures exactly this pair of effects; the migration property tests
+// reuse the same generator so exactness is checked on the workload the
+// feature exists for.
+//
+// Fully deterministic: one seeded Rng drives base graph and stream, and
+// updates are validated against a working topology copy (adds only for
+// absent edges, deletes only for present ones), so every consumer sees an
+// applicable stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "stream/update.h"
+
+namespace ripple::bench {
+
+struct DriftConfig {
+  std::size_t num_vertices = 1024;
+  std::size_t base_edges = 4096;
+  std::size_t feat_dim = 8;
+  std::size_t window = 96;             // hot-region width in vertex ids
+  std::size_t num_windows = 5;         // how many times the region shifts
+  std::size_t batches_per_window = 3;  // K batches between shifts
+  std::size_t batch_size = 64;         // updates per batch
+  double hot_fraction = 0.9;      // updates landing inside the hot window
+  double feature_fraction = 0.2;  // of hot updates: feature rewrites
+  double delete_fraction = 0.1;   // of hot edge updates: deletions
+  std::uint64_t seed = 2025;
+};
+
+struct DriftScenario {
+  DynamicGraph snapshot;  // the pre-stream base graph
+  std::vector<GraphUpdate> stream;
+  std::size_t batch_size = 0;
+  std::size_t batches_per_window = 0;
+  std::size_t num_vertices = 0;
+  std::size_t window = 0;
+
+  std::size_t num_batches() const {
+    return (stream.size() + batch_size - 1) / batch_size;
+  }
+  // First vertex id of batch `b`'s hot window (windows march in disjoint
+  // strides, wrapping at the id space).
+  VertexId window_start(std::size_t b) const {
+    const std::size_t w = b / batches_per_window;
+    return static_cast<VertexId>((w * window) % num_vertices);
+  }
+  bool shifts_before(std::size_t b) const {
+    return b > 0 && b % batches_per_window == 0;
+  }
+};
+
+inline DriftScenario make_drift_scenario(const DriftConfig& config) {
+  Rng rng(config.seed);
+  DriftScenario s;
+  s.snapshot = rmat(config.num_vertices, config.base_edges, 0.55, 0.2, 0.2,
+                    0.05, rng);
+  s.batch_size = config.batch_size;
+  s.batches_per_window = config.batches_per_window;
+  s.num_vertices = s.snapshot.num_vertices();  // rmat rounds to a power of 2
+  s.window = config.window;
+
+  const auto random_features = [&] {
+    std::vector<float> x(config.feat_dim);
+    for (float& v : x) {
+      v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    }
+    return x;
+  };
+
+  // Work against an evolving copy so every update is applicable in order.
+  DynamicGraph work = s.snapshot;
+  const std::size_t n = s.num_vertices;
+  const std::size_t total_batches =
+      config.num_windows * config.batches_per_window;
+  for (std::size_t b = 0; b < total_batches; ++b) {
+    const VertexId start =
+        static_cast<VertexId>(((b / config.batches_per_window) *
+                               config.window) % n);
+    const auto pick_hot = [&] {
+      return static_cast<VertexId>(
+          (start + rng.next_below(config.window)) % n);
+    };
+    for (std::size_t i = 0; i < config.batch_size; ++i) {
+      const bool hot = rng.next_double() < config.hot_fraction;
+      const auto pick = [&] {
+        return hot ? pick_hot()
+                   : static_cast<VertexId>(rng.next_below(n));
+      };
+      if (hot && rng.next_double() < config.feature_fraction) {
+        s.stream.push_back(
+            GraphUpdate::vertex_feature(pick_hot(), random_features()));
+        continue;
+      }
+      if (hot && rng.next_double() < config.delete_fraction) {
+        // Delete an existing out-edge of a hot vertex, if it has one.
+        const VertexId u = pick_hot();
+        const auto& out = work.out_neighbors(u);
+        if (!out.empty()) {
+          const VertexId v =
+              out[rng.next_below(out.size())].vertex;
+          work.remove_edge(u, v);
+          s.stream.push_back(GraphUpdate::edge_del(u, v));
+          continue;
+        }
+      }
+      // Edge add (the bulk of the stream): a few attempts to find an
+      // absent pair, falling back to a feature rewrite so batch sizes
+      // stay exact.
+      bool added = false;
+      for (int attempt = 0; attempt < 8 && !added; ++attempt) {
+        const VertexId u = pick();
+        const VertexId v = pick();
+        if (u == v || work.has_edge(u, v)) continue;
+        work.add_edge(u, v, 1.0f);
+        s.stream.push_back(GraphUpdate::edge_add(u, v));
+        added = true;
+      }
+      if (!added) {
+        s.stream.push_back(
+            GraphUpdate::vertex_feature(pick(), random_features()));
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace ripple::bench

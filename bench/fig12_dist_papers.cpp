@@ -119,10 +119,14 @@ int main(int argc, char** argv) {
   // Stall columns: BSP shows the worst rank's barrier waits, async shows
   // the worst rank's poll-loop idle — the quantity the barrier-free epoch
   // exists to shrink (docs/async.md).
-  TextTable table({"Parts", "Edge cut", "RC up/s", "Ripple up/s",
+  // "Balance" is the structural vertex-count balance of the partition;
+  // "busy skew" is the worst rank's accumulated busy share over the ideal
+  // (1.00 == perfectly even load) — the skew detector's trigger quantity.
+  TextTable table({"Parts", "Edge cut", "Balance", "RC up/s", "Ripple up/s",
                    "RC comp (s)", "RC comm (s)", "RP comp (s)", "RP comm (s)",
                    "RC stall (s)", "RP stall (s)", "RC bytes", "RP bytes",
-                   "Comm ratio", "RC rank mem", "RP rank mem"});
+                   "Comm ratio", "RC rank mem", "RP rank mem",
+                   "RC busy skew", "RP busy skew"});
   for (const auto parts : part_counts) {
     const auto partition =
         bench::make_partition(ds.graph, static_cast<std::size_t>(parts));
@@ -144,20 +148,27 @@ int main(int argc, char** argv) {
         std::printf(
             "{\"bench\":\"fig12_dist\",\"dataset\":\"papers-s\","
             "\"engine\":\"%s\",\"mode\":\"%s\",\"parts\":%lld,"
-            "\"edge_cut\":%zu,\"batch_size\":%zu,\"num_batches\":%zu,"
+            "\"edge_cut\":%zu,\"balance\":%.4f,\"batch_size\":%zu,"
+            "\"num_batches\":%zu,"
             "\"throughput_ups\":%.6g,\"compute_sec\":%.6g,"
             "\"comm_sec\":%.6g,\"epoch_sec\":%.6g,"
             "\"barrier_wait_sec\":%.6g,\"idle_sec\":%.6g,"
             "\"token_messages\":%zu,\"comm_measured\":%s,"
             "\"wire_bytes\":%zu,\"wire_messages\":%zu,"
-            "\"rank_memory_bytes\":%zu}\n",
+            "\"rank_memory_bytes\":%zu,\"busy_imbalance\":%.4f,"
+            "\"busy_share_sec\":[",
             run->engine.c_str(), run_spec.mode_name(),
             static_cast<long long>(parts), partition.edge_cut(ds.graph),
-            run->batch_size, run->num_batches, run->throughput_ups,
-            run->compute_sec, run->comm_sec, run->epoch_sec,
-            run->barrier_wait_sec, run->idle_sec, run->token_messages,
-            run->comm_measured ? "true" : "false", run->wire_bytes,
-            run->wire_messages, run->rank_memory_bytes);
+            partition.balance(), run->batch_size, run->num_batches,
+            run->throughput_ups, run->compute_sec, run->comm_sec,
+            run->epoch_sec, run->barrier_wait_sec, run->idle_sec,
+            run->token_messages, run->comm_measured ? "true" : "false",
+            run->wire_bytes, run->wire_messages, run->rank_memory_bytes,
+            run->busy_imbalance());
+        for (std::size_t p = 0; p < run->busy_sec.size(); ++p) {
+          std::printf("%s%.6g", p == 0 ? "" : ",", run->busy_sec[p]);
+        }
+        std::printf("]}\n");
       }
       std::fflush(stdout);
       continue;
@@ -166,6 +177,7 @@ int main(int argc, char** argv) {
     table.add_row(
         {TextTable::fmt_int(parts),
          TextTable::fmt_si(static_cast<double>(partition.edge_cut(ds.graph))),
+         TextTable::fmt(partition.balance(), 2),
          TextTable::fmt_si(rc_run.throughput_ups),
          TextTable::fmt_si(rp_run.throughput_ups),
          TextTable::fmt(rc_run.compute_sec, 3),
@@ -182,7 +194,9 @@ int main(int argc, char** argv) {
                               1) + "x"
              : "-",
          TextTable::fmt_si(static_cast<double>(rc_run.rank_memory_bytes)),
-         TextTable::fmt_si(static_cast<double>(rp_run.rank_memory_bytes))});
+         TextTable::fmt_si(static_cast<double>(rp_run.rank_memory_bytes)),
+         TextTable::fmt(rc_run.busy_imbalance(), 2),
+         TextTable::fmt(rp_run.busy_imbalance(), 2)});
   }
   if (json) return 0;
   table.print();

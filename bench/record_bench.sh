@@ -15,7 +15,14 @@
 #     halo), which must shrink as the partition count grows — and the
 #     bsp-vs-async stall split (barrier_wait_sec vs idle_sec/epoch_sec),
 #     the committed record that the barrier-free epoch models below the
-#     BSP total for the same stream (docs/async.md).
+#     BSP total for the same stream (docs/async.md);
+#   * bench_drift_scenario --json (drifting-hot-region scenario,
+#     docs/repartition.md): static partitioning vs online migration on the
+#     same stream, one row per policy — the committed record that the
+#     migrated run beats static on BOTH modeled makespan and peak max-rank
+#     memory_bytes while computing bit-identical embeddings. Full (not
+#     --quick) scale: the win needs enough windows for the static cut to
+#     accumulate, and the whole run is tens of milliseconds.
 #
 # Output is one JSON document: header with the machine's dispatched kernel
 # tier + host info, then "runs": the JSON-lines rows scraped verbatim from
@@ -31,7 +38,7 @@ build="${BUILD_DIR:-build}"
 out="${1:-BENCH_kernels.json}"
 
 for bin in bench_micro_kernels bench_parallel_scaling \
-           bench_fig12_dist_papers; do
+           bench_fig12_dist_papers bench_drift_scenario; do
   if [[ ! -x "$build/$bin" ]]; then
     echo "record_bench.sh: $build/$bin not found — build the benches first" \
          "(cmake -B $build -S . && cmake --build $build -j)" >&2
@@ -60,6 +67,8 @@ for mode in bsp async; do
   "$build/bench_fig12_dist_papers" --quick --json --mode="$mode" \
     >>"$rows_file" 2>>"$diag_file"
 done
+
+"$build/bench_drift_scenario" --json >>"$rows_file" 2>>"$diag_file"
 
 # micro_kernels prints "dispatched tier=<isa>" on stderr; that is the
 # machine's auto-dispatch answer (avx512/avx2/sse2/scalar).

@@ -19,9 +19,12 @@ ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
 # rows), the halo-cache invalidation tests, and the memory-scaling
 # property (a P=4 rank under half the P=1 footprint) — plus the
 # wire-precision conformance test (--wire-precision=bf16 halves row
-# payloads, tcp bit-identical to sim) and the --mode=async conformance
+# payloads, tcp bit-identical to sim), the --mode=async conformance
 # axis (hop-stamped row frames + the Safra token ring over real sockets,
-# bit-identical to BSP and to sim; see docs/async.md).
+# bit-identical to BSP and to sim; see docs/async.md), and the migration
+# conformance pass (migrate_row supersteps after every batch over real
+# sockets: re-homed ownership, gathered embeddings and per-batch counter
+# sums all bit-identical to sim; see docs/repartition.md).
 RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
   -j "$(nproc)"
 
@@ -37,8 +40,11 @@ ctest --test-dir build-tsan -L unit --output-on-failure -j "$(nproc)"
 # TSan also sweeps the async axes: the dependency-counted pending-cell
 # worklists and the Safra termination ring (--mode=async) interleave
 # stealing workers with serial credit bookkeeping, exactly the shape TSan
-# exists to check.
-ctest --test-dir build-tsan -R "dist_engine|dist_termination|dist_async" \
+# exists to check. The migration suite rides along: its supersteps run
+# between batches on the same stealing pool, so a racy rehome would
+# surface here.
+ctest --test-dir build-tsan \
+  -R "dist_engine|dist_termination|dist_async|dist_migration" \
   --output-on-failure -j "$(nproc)"
 
 # AddressSanitizer + UndefinedBehaviorSanitizer pass over the unit and

@@ -51,6 +51,11 @@ class DistRecomputeEngine : public DistEngineBase {
   const char* name() const override { return "dist-RC"; }
   DistBatchResult apply_batch(UpdateBatch batch) override;
   EmbeddingStore gather_embeddings() override;
+  // Migration superstep (docs/repartition.md): RC keeps no halo cache or
+  // aggregate rows, so a move ships only the vertex's committed H^0..H^L
+  // rows; the per-hop pull plans of later batches re-derive themselves from
+  // the updated assignment.
+  std::size_t migrate(MigrationPlan plan) override;
   const Partition& partition() const override { return partition_; }
   const DynamicGraph& graph() const override { return graph_; }
   const GnnModel& model() const override { return model_; }

@@ -92,6 +92,13 @@ class DistRippleEngine : public DistEngineBase {
   const char* name() const override { return "dist-Ripple"; }
   DistBatchResult apply_batch(UpdateBatch batch) override;
   EmbeddingStore gather_embeddings() override;
+  // Migration superstep (docs/repartition.md): ships each moving vertex's
+  // H^0..H^L rows AND its aggregate-cache rows (one migrate_row frame), then
+  // re-homes the row map, patches every hosted halo incrementally (fills for
+  // newly-cut in-edges from the OLD owner's committed rows, eager erases for
+  // edges the move un-cuts), and bumps the replicated assignment. Mailboxes
+  // must be empty — the between-batches invariant — and the call asserts it.
+  std::size_t migrate(MigrationPlan plan) override;
   const Partition& partition() const override { return partition_; }
   const DynamicGraph& graph() const override { return graph_; }
   const GnnModel& model() const override { return model_; }

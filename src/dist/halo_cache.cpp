@@ -37,8 +37,24 @@ std::uint32_t HaloCache::ensure(VertexId v) {
 void HaloCache::erase(VertexId v) {
   const auto it = slot_of_.find(v);
   if (it == slot_of_.end()) return;
-  free_.push_back(it->second);
+  // Keep free_ sorted descending: ensure() pops from the back, so the
+  // SMALLEST retired slot is reused first and high slots stay free long
+  // enough for the trailing trim below to release them.
+  const auto pos = std::lower_bound(free_.begin(), free_.end(), it->second,
+                                    std::greater<std::uint32_t>());
+  free_.insert(pos, it->second);
   slot_of_.erase(it);
+  // A run of free slots at the tail holds no live row: dropping it moves
+  // nothing, so a shrinking halo (cut-edge deletes, migration re-homes)
+  // actually releases storage instead of pinning its high-water forever.
+  while (!free_.empty() && free_.front() == num_slots_ - 1) {
+    free_.erase(free_.begin());
+    --num_slots_;
+    for (std::size_t l = 0; l < widths_.size(); ++l) {
+      data_[l].resize(num_slots_ * widths_[l]);
+      version_[l].resize(num_slots_);
+    }
+  }
 }
 
 std::span<float> HaloCache::row(VertexId v, std::size_t layer) {
@@ -76,10 +92,12 @@ std::uint64_t HaloCache::version(VertexId v, std::size_t layer) const {
 }
 
 std::size_t HaloCache::bytes() const {
-  std::size_t total = free_.capacity() * sizeof(std::uint32_t);
-  for (const auto& layer : data_) total += layer.capacity() * sizeof(float);
+  // Live storage (size, matching Matrix::bytes()): the trailing trim in
+  // erase() shrinks these vectors, and the footprint metric must see it.
+  std::size_t total = free_.size() * sizeof(std::uint32_t);
+  for (const auto& layer : data_) total += layer.size() * sizeof(float);
   for (const auto& layer : version_) {
-    total += layer.capacity() * sizeof(std::uint64_t);
+    total += layer.size() * sizeof(std::uint64_t);
   }
   // unordered_map node estimate: key + value + hash-node overhead, plus the
   // bucket array.

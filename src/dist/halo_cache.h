@@ -18,8 +18,11 @@
 // sender and receiver agree without a request round-trip.
 //
 // Storage is one flat float vector per layer with a slot free list:
-// erase/insert churn reuses slots, and growth never moves live rows that
-// other slots reference (Matrix::resize would reassign every element).
+// erase/insert churn reuses slots (smallest retired slot first), and growth
+// never moves live rows that other slots reference (Matrix::resize would
+// reassign every element). Trailing free slots are trimmed on erase — a
+// shrinking halo (cut-edge deletes, migration re-homes) releases storage
+// instead of pinning its high-water footprint.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +70,7 @@ class HaloCache {
  private:
   std::vector<std::size_t> widths_;
   std::unordered_map<VertexId, std::uint32_t> slot_of_;
+  // Retired slots, sorted descending: smallest reused first (see erase()).
   std::vector<std::uint32_t> free_;
   std::size_t num_slots_ = 0;
   std::vector<std::vector<float>> data_;  // per layer, slot-major
