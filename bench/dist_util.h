@@ -101,6 +101,13 @@ struct DistRunMetrics {
   bool comm_measured = false;
   std::size_t wire_bytes = 0;
   std::size_t wire_messages = 0;
+  // Robustness counters (docs/fault_tolerance.md): reconnect attempts,
+  // deadline expiries, and idle-liveness heartbeat frames across the run.
+  // All zero on sim and on a healthy, busy tcp cluster — a nonzero value
+  // in a recorded row is the wire telling you the run was not clean.
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t heartbeats = 0;
   // ONE rank's resident row state after the run (owned rows + halo +
   // mailbox shards + row map; see DistEngineBase::memory_bytes) — the
   // per-rank footprint that must SHRINK as partitions are added.
@@ -145,6 +152,9 @@ inline DistRunMetrics run_dist_stream(DistEngineBase& engine,
     metrics.comm_measured = result.comm_measured;
     metrics.wire_bytes += result.wire_bytes;
     metrics.wire_messages += result.wire_messages;
+    metrics.retries += result.retries;
+    metrics.timeouts += result.timeouts;
+    metrics.heartbeats += result.heartbeats;
     if (metrics.busy_sec.size() < result.num_parts) {
       metrics.busy_sec.resize(result.num_parts, 0.0);
     }

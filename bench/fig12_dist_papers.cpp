@@ -155,6 +155,7 @@ int main(int argc, char** argv) {
             "\"barrier_wait_sec\":%.6g,\"idle_sec\":%.6g,"
             "\"token_messages\":%zu,\"comm_measured\":%s,"
             "\"wire_bytes\":%zu,\"wire_messages\":%zu,"
+            "\"retries\":%zu,\"timeouts\":%zu,\"heartbeats\":%zu,"
             "\"rank_memory_bytes\":%zu,\"busy_imbalance\":%.4f,"
             "\"busy_share_sec\":[",
             run->engine.c_str(), run_spec.mode_name(),
@@ -163,7 +164,8 @@ int main(int argc, char** argv) {
             run->throughput_ups, run->compute_sec, run->comm_sec,
             run->epoch_sec, run->barrier_wait_sec, run->idle_sec,
             run->token_messages, run->comm_measured ? "true" : "false",
-            run->wire_bytes, run->wire_messages, run->rank_memory_bytes,
+            run->wire_bytes, run->wire_messages, run->retries,
+            run->timeouts, run->heartbeats, run->rank_memory_bytes,
             run->busy_imbalance());
         for (std::size_t p = 0; p < run->busy_sec.size(); ++p) {
           std::printf("%s%.6g", p == 0 ? "" : ",", run->busy_sec[p]);

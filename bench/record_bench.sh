@@ -16,6 +16,11 @@
 #     bsp-vs-async stall split (barrier_wait_sec vs idle_sec/epoch_sec),
 #     the committed record that the barrier-free epoch models below the
 #     BSP total for the same stream (docs/async.md);
+#   * bench_recovery --quick --json at --mode=bsp AND --mode=async
+#     (docs/fault_tolerance.md): the periodic checkpoint tax
+#     (checkpoint_write_sec, checkpoint_bytes) and the recovery cost
+#     (restore_sec + recovery_replay_sec), each row bit-verifying the
+#     recovered embeddings against the uninterrupted run ("exact":true);
 #   * bench_drift_scenario --json (drifting-hot-region scenario,
 #     docs/repartition.md): static partitioning vs online migration on the
 #     same stream, one row per policy — the committed record that the
@@ -38,7 +43,7 @@ build="${BUILD_DIR:-build}"
 out="${1:-BENCH_kernels.json}"
 
 for bin in bench_micro_kernels bench_parallel_scaling \
-           bench_fig12_dist_papers bench_drift_scenario; do
+           bench_fig12_dist_papers bench_recovery bench_drift_scenario; do
   if [[ ! -x "$build/$bin" ]]; then
     echo "record_bench.sh: $build/$bin not found — build the benches first" \
          "(cmake -B $build -S . && cmake --build $build -j)" >&2
@@ -65,6 +70,11 @@ done
 
 for mode in bsp async; do
   "$build/bench_fig12_dist_papers" --quick --json --mode="$mode" \
+    >>"$rows_file" 2>>"$diag_file"
+done
+
+for mode in bsp async; do
+  "$build/bench_recovery" --quick --json --mode="$mode" \
     >>"$rows_file" 2>>"$diag_file"
 done
 

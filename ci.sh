@@ -24,7 +24,11 @@ ctest --test-dir build -LE unit --output-on-failure -j "$(nproc)"
 # bit-identical to BSP and to sim; see docs/async.md), and the migration
 # conformance pass (migrate_row supersteps after every batch over real
 # sockets: re-homed ownership, gathered embeddings and per-batch counter
-# sums all bit-identical to sim; see docs/repartition.md).
+# sums all bit-identical to sim; see docs/repartition.md). The fault tier
+# rides the same env gate: RIPPLE_TRANSPORT=tcp un-skips the forked
+# rank-kill recovery drill (tests/dist/test_rank_kill.cpp) — a real
+# SIGKILL mid-run, restore from the on-disk checkpoints, replay over real
+# sockets, bit-identical to a never-failed run (docs/fault_tolerance.md).
 RIPPLE_TRANSPORT=tcp ctest --test-dir build -L dist --output-on-failure \
   -j "$(nproc)"
 
@@ -42,9 +46,14 @@ ctest --test-dir build-tsan -L unit --output-on-failure -j "$(nproc)"
 # stealing workers with serial credit bookkeeping, exactly the shape TSan
 # exists to check. The migration suite rides along: its supersteps run
 # between batches on the same stealing pool, so a racy rehome would
-# surface here.
+# surface here. The fault-injection and checkpoint suites join the sweep:
+# injected drops/duplicates/corruption drive the async error paths under
+# the same stealing pool, and a race in the typed-error unwinding would be
+# invisible in a normal build. (The forked rank-kill drills stay out:
+# fork + SIGKILL under TSan's runtime is noise, and the ASan fault pass
+# below covers them.)
 ctest --test-dir build-tsan \
-  -R "dist_engine|dist_termination|dist_async|dist_migration" \
+  -R "dist_engine|dist_termination|dist_async|dist_migration|dist_fault_inject|dist_checkpoint" \
   --output-on-failure -j "$(nproc)"
 
 # AddressSanitizer + UndefinedBehaviorSanitizer pass over the unit and
@@ -58,6 +67,12 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRIPPLE_BUILD_BENCHES=OFF -DRIPPLE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan -L "unit|dist" --output-on-failure -j "$(nproc)"
+# The dist tier above already carries the fault label's suites (decoder
+# fuzzing, checkpoint CRC rejection, seeded kills); run the fault tier once
+# more with the tcp gate open so the rank-kill recovery drill — real
+# sockets, real SIGKILL, checkpoint restore — executes under ASan too.
+RIPPLE_TRANSPORT=tcp ctest --test-dir build-asan -L fault \
+  --output-on-failure -j "$(nproc)"
 
 # Forced-scalar kernel pass over the unit tier: -DRIPPLE_KERNELS=scalar
 # compiles the dispatch to always select the portable tier, so the scalar

@@ -6,6 +6,10 @@
 
 namespace ripple {
 
+const char* serve_status_name(ServeStatus status) {
+  return status == ServeStatus::kOk ? "ok" : "degraded";
+}
+
 StreamingServer::StreamingServer(std::unique_ptr<InferenceEngine> engine,
                                  Options options)
     : engine_(std::move(engine)), options_(options),
@@ -42,6 +46,10 @@ bool StreamingServer::age_flush_due() const {
 }
 
 std::size_t StreamingServer::submit(GraphUpdate update) {
+  if (status_ == ServeStatus::kDegraded) {
+    ++stats_.updates_rejected;
+    return 0;
+  }
   if (pending_.empty()) first_pending_sec_ = now_sec();
   pending_.push_back(std::move(update));
   const std::size_t threshold =
@@ -54,10 +62,33 @@ std::size_t StreamingServer::poll() {
   return age_flush_due() ? flush() : 0;
 }
 
+std::uint32_t StreamingServer::label(VertexId v) const {
+  if (status_ == ServeStatus::kDegraded) {
+    // Shed onto the last committed snapshot; a vertex first seen by the
+    // poisoned batch has no committed label yet.
+    return v < labels_.size() ? labels_[v] : 0;
+  }
+  return engine_->embeddings().predicted_label(v);
+}
+
 std::size_t StreamingServer::flush() {
-  if (pending_.empty()) return 0;
+  if (status_ == ServeStatus::kDegraded || pending_.empty()) return 0;
   StopWatch watch;
-  const BatchResult result = engine_->apply_batch(pending_);
+  BatchResult result;
+  try {
+    result = engine_->apply_batch(pending_);
+  } catch (const check_error& failure) {
+    // An apply that threw is unrecoverable AT THIS LAYER: the engine's
+    // state may hold half a batch and must not serve or accept more work.
+    // Degrade instead of dying — lookups fall back to the last committed
+    // snapshot, updates are rejected — and leave recovery (checkpoint
+    // restore + stream replay, docs/fault_tolerance.md) to the driver.
+    status_ = ServeStatus::kDegraded;
+    fault_ = failure.what();
+    stats_.updates_rejected += pending_.size();
+    pending_.clear();
+    return 0;
+  }
   const double latency = watch.elapsed_sec();
   if (options_.adaptive) {
     batcher_.record(pending_.size(), latency);

@@ -19,6 +19,16 @@
 
 namespace ripple {
 
+// Health of a StreamingServer. A serving process must not die because ONE
+// engine apply failed (a torn wire frame, a lost peer, a failed internal
+// invariant): kDegraded turns the failure into a typed, queryable status —
+// updates are rejected, lookups serve the last committed label snapshot —
+// while an operator (or the recovery driver, docs/fault_tolerance.md)
+// restores or replaces the engine.
+enum class ServeStatus : std::uint8_t { kOk, kDegraded };
+
+const char* serve_status_name(ServeStatus status);
+
 class StreamingServer {
  public:
   struct Options {
@@ -47,7 +57,9 @@ class StreamingServer {
 
   // Enqueue one update; flushes automatically when the batch is full OR
   // when the oldest pending update is past flush_after_sec. Returns the
-  // number of updates applied (0 if still buffering).
+  // number of updates applied (0 if still buffering). On a degraded server
+  // the update is REJECTED (stats().updates_rejected counts it) and 0 is
+  // returned — check status() to tell rejection from buffering.
   std::size_t submit(GraphUpdate update);
 
   // Idle-stream upkeep: flushes a partial batch whose oldest update is past
@@ -59,10 +71,19 @@ class StreamingServer {
   // Apply whatever is pending immediately.
   std::size_t flush();
 
-  // Request-based lookup (always serves the current exact prediction).
-  std::uint32_t label(VertexId v) const {
-    return engine_->embeddings().predicted_label(v);
-  }
+  // Request-based lookup. Healthy: the current exact prediction. Degraded:
+  // the engine's state is suspect, so the lookup is shed onto the last
+  // COMMITTED label snapshot (the labels_ diff base — updated only after a
+  // batch fully applied, so it never reflects a half-applied batch).
+  std::uint32_t label(VertexId v) const;
+
+  // kDegraded after an engine apply threw (TransportError, check_error):
+  // the failure became this typed status instead of process death. The
+  // poisoned batch's updates are dropped and counted rejected; recovery
+  // replays them from the stream via checkpoint restore, not from here.
+  ServeStatus status() const { return status_; }
+  // The failure message that degraded the server; empty while kOk.
+  const std::string& fault() const { return fault_; }
 
   const InferenceEngine& engine() const { return *engine_; }
 
@@ -70,6 +91,9 @@ class StreamingServer {
     std::size_t updates_processed = 0;
     std::size_t batches_processed = 0;
     std::size_t label_changes = 0;
+    // Updates refused by a degraded server plus those of the batch whose
+    // apply failed (they never committed).
+    std::size_t updates_rejected = 0;
     double total_sec = 0;
     // Propagation-core execution stats, aggregated from BatchResult: shard
     // and thread counts of the most recent batch plus cumulative per-phase
@@ -97,6 +121,8 @@ class StreamingServer {
   std::vector<std::uint32_t> labels_;
   LabelChangeCallback callback_;
   Stats stats_;
+  ServeStatus status_ = ServeStatus::kOk;
+  std::string fault_;
 };
 
 }  // namespace ripple

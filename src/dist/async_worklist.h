@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "dist/transport_error.h"
 #include "graph/types.h"
 
 namespace ripple {
@@ -59,11 +60,17 @@ class PendingCells {
 
   // One contributor of (v, level) became available. The cell must exist and
   // still be waiting — a spurious credit means the dependency counts and
-  // the actual message flow disagree, which would break bit-exactness.
+  // the actual message flow disagree (a duplicated frame, a byzantine
+  // peer), which would break bit-exactness. Typed kProtocol rather than a
+  // CHECK abort: the trigger is wire input, and the layers above recover
+  // by restoring from checkpoint (docs/fault_tolerance.md).
   void credit(std::size_t level, VertexId v) {
     std::uint32_t& count = waiting_[level][v];
-    RIPPLE_CHECK_MSG(count != 0,
-                     "async credit for a cell that is not waiting");
+    if (count == 0) {
+      throw TransportError(TransportErrorKind::kProtocol,
+                           "async credit for a cell that is not waiting "
+                           "(duplicate or stray contribution)");
+    }
     if (--count == 0) {
       --waiting_cells_;
       ready_[level].push_back(v);
@@ -131,8 +138,13 @@ void drive_async_epoch(const TransportT& transport, const Detectors& detectors,
       stall_iters = 0;
       continue;
     }
-    RIPPLE_CHECK_MSG(++stall_iters < 1000000,
-                     "async epoch stalled without terminating");
+    // An unbounded no-progress streak means quiescence can never be
+    // declared — some in-flight contribution is gone for good (a dropped
+    // frame, a wedged peer). Typed kTimeout so the caller can recover.
+    if (++stall_iters >= 1000000) {
+      throw TransportError(TransportErrorKind::kTimeout,
+                           "async epoch stalled without terminating");
+    }
   }
 }
 

@@ -1,0 +1,89 @@
+// Deterministic per-rank checkpoint files (docs/fault_tolerance.md).
+//
+// Every K batches each rank snapshots its OWNED vertex state — the same
+// per-vertex row a migration frame ships (docs/repartition.md): committed
+// H^0..H^L rows plus, for the ripple engine, the aggregate-cache rows —
+// together with the partition assignment + version and the stream cursor
+// (batches applied so far). Because the whole distributed stack is
+// bit-deterministic, that is ALL recovery needs: survivors plus a
+// replacement rank rebuild the stream-prefix topology, install the
+// checkpointed rows, refill halos from the restored owners, and replay the
+// stream suffix — landing on embeddings BIT-identical to a run that never
+// failed (tests/dist/test_checkpoint.cpp pins this to zero tolerance).
+//
+// File format (host-endian, like the wire):
+//   u64 magic  u32 version  u32 rank  u32 num_parts  u32 row_width
+//   u64 stream_cursor  u64 partition_version  u64 num_vertices
+//   u32 key_len + engine key bytes ("ripple" | "rc")
+//   u64 part_of_len + u32[part_of_len]     full assignment table
+//   u64 num_owned + u32[num_owned]         owned vertex ids, ascending
+//   num_owned * row_width * f32            state rows, same order
+//   u32 crc32 over every preceding byte
+//
+// Durability: the file is written to "<path>.tmp", fsync'd, and atomically
+// renamed into place — a crash mid-write can never leave a torn file under
+// the final name, and the CRC rejects torn or bit-rotted content on read
+// (TransportError{kCorrupt}).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ripple {
+
+struct ModelConfig;
+
+inline constexpr std::uint64_t kCheckpointMagic = 0x31544b5043'4c5052ULL;
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+struct CheckpointMeta {
+  std::string engine_key;              // "ripple" | "rc"
+  std::uint64_t stream_cursor = 0;     // batches applied at snapshot time
+  std::uint32_t rank = 0;
+  std::uint32_t num_parts = 0;
+  std::uint64_t partition_version = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint32_t row_width = 0;         // floats per per-vertex state row
+  std::vector<std::uint32_t> part_of;  // full assignment table
+};
+
+struct CheckpointData {
+  CheckpointMeta meta;
+  std::vector<VertexId> vertices;  // owned vertices, ascending global id
+  std::vector<float> rows;         // vertices.size() * row_width floats
+};
+
+// CRC-32 (IEEE 802.3 polynomial, table-driven). `seed` chains calls.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+// "<dir>/ckpt_<cursor>_rank<rank>.bin"
+std::string checkpoint_path(const std::string& dir, std::uint64_t cursor,
+                            std::size_t rank);
+
+// Serializes, checksums, writes to "<final>.tmp", fsyncs, renames.
+void write_checkpoint_file(const std::string& dir,
+                           const CheckpointData& data);
+
+// Parses + validates (magic, format version, CRC, internal sizes); throws
+// TransportError{kCorrupt} on any mismatch and check_error if the file
+// cannot be opened.
+CheckpointData read_checkpoint_file(const std::string& path);
+
+// Highest stream cursor for which EVERY rank 0..num_parts-1 has a
+// readable, CRC-valid checkpoint file in `dir`; nullopt when none exists.
+// A crash between two ranks' writes leaves the newest cursor incomplete —
+// recovery then falls back to the previous complete one.
+std::optional<std::uint64_t> latest_checkpoint_cursor(const std::string& dir,
+                                                      std::size_t num_parts);
+
+// Per-vertex checkpoint row widths — the exact migration-frame layouts.
+// ripple: H^0..H^L rows plus the per-hop aggregate-cache rows; rc: H only.
+std::size_t ripple_checkpoint_row_width(const ModelConfig& config);
+std::size_t rc_checkpoint_row_width(const ModelConfig& config);
+
+}  // namespace ripple

@@ -80,6 +80,13 @@ struct DistBatchResult {
   std::size_t wire_bytes = 0;     // payload + headers, all supersteps
   std::size_t wire_messages = 0;  // messages across all supersteps
   std::size_t token_messages = 0;  // termination tokens (async control)
+  // Robustness counters, as per-batch deltas of the transport's cumulative
+  // totals (docs/fault_tolerance.md): reconnect attempts burned by dial
+  // backoff, deadline expiries, and liveness heartbeat frames sent from
+  // idle wait loops. All zero on sim and on a healthy, busy tcp cluster.
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t heartbeats = 0;
   // Per-partition barrier stall (BSP): time spent waiting at superstep
   // barriers behind slower endpoints — modeled on sim (slowest endpoint
   // minus own), measured on tcp (only the local rank's slot is filled).
@@ -157,6 +164,28 @@ class DistEngineBase {
   // drops no-ops). Wire cost is charged to the transport's cumulative
   // counters but to no batch, like gather_embeddings().
   virtual std::size_t migrate(MigrationPlan plan) = 0;
+
+  // Snapshots every HOSTED partition's owned state to per-rank checkpoint
+  // files in `dir` (dist/checkpoint.h): one file per hosted partition,
+  // CRC-checksummed and atomically renamed. `stream_cursor` is the number
+  // of batches applied so far and names the files. LOCAL — no wire traffic,
+  // callable at any between-batches point. Returns seconds spent writing.
+  virtual double write_checkpoint(const std::string& dir,
+                                  std::uint64_t stream_cursor) = 0;
+
+  // Restores a freshly constructed engine from the checkpoint at
+  // `stream_cursor`. Precondition: this engine was built over the graph
+  // TOPOLOGY as of the cursor (the driver replays the stream prefix's
+  // structure) with any right-shaped feature matrix, and over a Partition
+  // equal to the checkpointed assignment — every restored bit comes from
+  // the files, not the constructor bootstrap. This is a COLLECTIVE: it runs
+  // one halo-refill superstep (ripple engine) so every rank must call it at
+  // the same point. After it returns, replaying the stream suffix produces
+  // embeddings BIT-identical to a run that never failed
+  // (tests/dist/test_checkpoint.cpp). Throws TransportError{kCorrupt} on a
+  // damaged file.
+  virtual void restore_checkpoint(const std::string& dir,
+                                  std::uint64_t stream_cursor) = 0;
 
   virtual const Partition& partition() const = 0;
   virtual const DynamicGraph& graph() const = 0;

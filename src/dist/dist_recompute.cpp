@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dist/bsp.h"
+#include "dist/checkpoint.h"
 #include "infer/affected.h"
 #include "infer/layerwise.h"
 #include "stream/update.h"
@@ -66,6 +67,14 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   result.num_parts = partition_.num_parts();
   const std::size_t wire_bytes_before = transport_->wire_bytes();
   const std::size_t wire_messages_before = transport_->wire_messages();
+  const std::size_t retries_before = transport_->retries();
+  const std::size_t timeouts_before = transport_->timeouts();
+  const std::size_t heartbeats_before = transport_->heartbeats();
+  const auto fill_robustness = [&](DistBatchResult& r) {
+    r.retries = transport_->retries() - retries_before;
+    r.timeouts = transport_->timeouts() - timeouts_before;
+    r.heartbeats = transport_->heartbeats() - heartbeats_before;
+  };
   const std::size_t num_parts = partition_.num_parts();
   // Modeled timing bills the slowest simulated partition; a measuring
   // transport (tcp) switches every phase to this rank's real wall clock.
@@ -130,6 +139,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
     result.affected_final = affected.back().size();
     result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
     result.wire_messages = transport_->wire_messages() - wire_messages_before;
+    fill_robustness(result);
     if (stealer_ != nullptr) result.sched = stealer_->stats();
     return result;
   }
@@ -159,11 +169,22 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
     add_transport_waits();
 
     // Index the received rows by sender for the aggregation resolver.
+    // Width validation here, serial and BEFORE the pooled recompute phase
+    // (an exception escaping a worker task would terminate the process):
+    // a truncated frame is wire damage, typed kCorrupt.
+    const std::size_t pull_width = model_.config().embedding_dim(l);
     for (std::size_t p = 0; p < num_parts; ++p) {
       if (!hosts(p)) continue;
       pull_index_[p].clear();
       const Transport::Inbox& inbox = transport_->inbox(p);
       for (const Transport::Message& m : inbox.messages) {
+        if (inbox.payload_of(m).size() != pull_width) {
+          throw TransportError(
+              TransportErrorKind::kCorrupt,
+              "pull row frame width mismatch: expected " +
+                  std::to_string(pull_width) + " floats, got " +
+                  std::to_string(inbox.payload_of(m).size()));
+        }
         pull_index_[p][m.sender] = inbox.payload_of(m).data();
       }
     }
@@ -255,6 +276,7 @@ DistBatchResult DistRecomputeEngine::apply_batch(UpdateBatch batch) {
   result.affected_final = affected.back().size();
   result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
   result.wire_messages = transport_->wire_messages() - wire_messages_before;
+  fill_robustness(result);
   if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }
@@ -338,8 +360,20 @@ void DistRecomputeEngine::process_remote_row(std::size_t q,
   RIPPLE_CHECK_MSG(l < model_.num_layers(),
                    "async pull row with out-of-range hop " << l);
   const VertexId u = f.sender;
+  // Wire-input validation, typed kCorrupt (a truncated frame, not a bug):
+  // the layers above recover by restoring from checkpoint.
+  const std::size_t expect = model_.config().embedding_dim(l);
+  if (f.row.size() != expect) {
+    throw TransportError(TransportErrorKind::kCorrupt,
+                         "async pull row width mismatch: expected " +
+                             std::to_string(expect) + " floats, got " +
+                             std::to_string(f.row.size()));
+  }
   const bool inserted = as.pulls[l].emplace(u, std::move(f.row)).second;
-  RIPPLE_CHECK_MSG(inserted, "duplicate async pull row in one epoch");
+  if (!inserted) {
+    throw TransportError(TransportErrorKind::kProtocol,
+                         "duplicate async pull row in one epoch");
+  }
   // Credit every owned hop-l cell waiting on u's row. The same out-edge
   // sweep that sized the dependency counts runs here in reverse, so frame
   // and credit flow can never disagree.
@@ -420,10 +454,13 @@ bool DistRecomputeEngine::rank_step(std::size_t q) {
   transport_->poll_async(q, frames_, timeout_ms);
   const StopWatch busy_watch;
   for (Transport::AsyncFrame& f : frames_) {
-    progress = true;
     if (f.is_token) {
+      // Token traffic is NOT progress: a circulating token with an unmet
+      // deficit must not reset the epoch driver's stall detector (a lost
+      // row has to surface as kTimeout, not an infinite spin).
       det.receive_token(f.token);
     } else {
+      progress = true;
       det.on_receive();
       process_remote_row(q, f);
     }
@@ -482,10 +519,10 @@ bool DistRecomputeEngine::rank_step(std::size_t q) {
   as.busy_sec += busy_watch.elapsed_sec();
 
   // Termination: pass the token on (or, at rank 0, evaluate it) whenever
-  // the local worklists are drained.
+  // the local worklists are drained. Forwarding is control traffic, not
+  // progress, for the same stall-detector reason as token receipt above.
   if (auto token = det.try_forward(as.cells.idle())) {
     transport_->send_token(q, det.next_rank(), *token);
-    progress = true;
   }
   return progress;
 }
@@ -616,6 +653,92 @@ std::size_t DistRecomputeEngine::migrate(MigrationPlan plan) {
 
   partition_.apply(plan);
   return plan.size();
+}
+
+double DistRecomputeEngine::write_checkpoint(const std::string& dir,
+                                             std::uint64_t stream_cursor) {
+  StopWatch watch;
+  const std::size_t num_layers = model_.num_layers();
+  const std::size_t width = rc_checkpoint_row_width(model_.config());
+  CheckpointMeta base;
+  base.engine_key = "rc";
+  base.stream_cursor = stream_cursor;
+  base.num_parts = static_cast<std::uint32_t>(partition_.num_parts());
+  base.partition_version = partition_.version();
+  base.num_vertices = graph_.num_vertices();
+  base.row_width = static_cast<std::uint32_t>(width);
+  base.part_of.resize(graph_.num_vertices());
+  for (VertexId v = 0; v < base.part_of.size(); ++v) {
+    base.part_of[v] = owner(v);
+  }
+  for (std::size_t p = 0; p < partition_.num_parts(); ++p) {
+    if (!hosts(p)) continue;
+    CheckpointData data;
+    data.meta = base;
+    data.meta.rank = static_cast<std::uint32_t>(p);
+    for (const VertexId v : row_map_.owned(p)) {
+      if (v != kInvalidVertex) data.vertices.push_back(v);
+    }
+    std::sort(data.vertices.begin(), data.vertices.end());
+    data.rows.reserve(data.vertices.size() * width);
+    for (const VertexId v : data.vertices) {
+      const std::uint32_t r = row_map_.local_of(v);
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        const auto row = states_[p].layer(l).row(r);
+        data.rows.insert(data.rows.end(), row.begin(), row.end());
+      }
+    }
+    write_checkpoint_file(dir, data);
+  }
+  return watch.elapsed_sec();
+}
+
+void DistRecomputeEngine::restore_checkpoint(const std::string& dir,
+                                             std::uint64_t stream_cursor) {
+  const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
+  const std::size_t width = rc_checkpoint_row_width(model_.config());
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    const CheckpointData data =
+        read_checkpoint_file(checkpoint_path(dir, stream_cursor, p));
+    RIPPLE_CHECK_MSG(data.meta.engine_key == "rc",
+                     "checkpoint engine key mismatch: expected rc, file "
+                     "holds " << data.meta.engine_key);
+    RIPPLE_CHECK(data.meta.num_parts == num_parts);
+    RIPPLE_CHECK_MSG(data.meta.num_vertices == graph_.num_vertices(),
+                     "checkpoint vertex count disagrees with the topology "
+                     "this engine was rebuilt over");
+    RIPPLE_CHECK(data.meta.row_width == width);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      RIPPLE_CHECK_MSG(data.meta.part_of[v] == owner(v),
+                       "checkpoint partition assignment disagrees at vertex "
+                           << v);
+    }
+    std::size_t live = 0;
+    for (const VertexId v : row_map_.owned(p)) live += v != kInvalidVertex;
+    RIPPLE_CHECK_MSG(data.vertices.size() == live,
+                     "checkpoint owned-row count mismatch for partition "
+                         << p);
+    const float* row = data.rows.data();
+    for (const VertexId v : data.vertices) {
+      const std::uint32_t r = row_map_.local_of(v);
+      std::size_t off = 0;
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        auto out = states_[p].layer(l).row(r);
+        vec_copy(std::span<const float>(row + off, out.size()), out);
+        off += out.size();
+      }
+      RIPPLE_CHECK(off == width);
+      row += width;
+    }
+  }
+  // RC pulls halos fresh each hop, so installs alone restore the state; an
+  // empty alignment superstep keeps every rank's barrier index in lockstep
+  // with the ripple engine's refill superstep (mixed clusters don't exist,
+  // but a uniform collective shape keeps the tcp protocol regular).
+  transport_->begin_superstep();
+  transport_->end_superstep();
 }
 
 EmbeddingStore DistRecomputeEngine::gather_embeddings() {

@@ -56,6 +56,17 @@ class DistRecomputeEngine : public DistEngineBase {
   // rows; the per-hop pull plans of later batches re-derive themselves from
   // the updated assignment.
   std::size_t migrate(MigrationPlan plan) override;
+  // Per hosted partition: one checkpoint file of the owned H^0..H^L rows
+  // (dist/checkpoint.h). RC keeps no halo cache or aggregate rows, so the
+  // snapshot — like its migration frame — is the committed H union alone.
+  double write_checkpoint(const std::string& dir,
+                          std::uint64_t stream_cursor) override;
+  // Install-only restore: later batches re-derive their pull plans from the
+  // replicated topology, so no refill superstep is needed. Still a
+  // COLLECTIVE on a real transport (runs an empty alignment superstep so
+  // every rank leaves restore at the same barrier index).
+  void restore_checkpoint(const std::string& dir,
+                          std::uint64_t stream_cursor) override;
   const Partition& partition() const override { return partition_; }
   const DynamicGraph& graph() const override { return graph_; }
   const GnnModel& model() const override { return model_; }

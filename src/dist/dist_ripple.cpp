@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dist/bsp.h"
+#include "dist/checkpoint.h"
 #include "stream/update_apply.h"
 
 namespace ripple {
@@ -257,7 +258,15 @@ void DistRippleEngine::replay_uops() {
         const Transport::Message& m = pop_msg(q, pu);
         RIPPLE_CHECK(m.sender == op.u);
         const auto payload = transport_->inbox(q).payload_of(m);
-        RIPPLE_CHECK(payload.size() == 2 * feat_dim);
+        // Wire-input width validation: typed kCorrupt (frame damage, not a
+        // bug) BEFORE any subspan is taken from the payload.
+        if (payload.size() != 2 * feat_dim) {
+          throw TransportError(TransportErrorKind::kCorrupt,
+                               "feature frame width mismatch: expected " +
+                                   std::to_string(2 * feat_dim) +
+                                   " floats, got " +
+                                   std::to_string(payload.size()));
+        }
         const auto x_new = payload.subspan(0, feat_dim);
         const auto x_old = payload.subspan(feat_dim, feat_dim);
         for (const auto& [sink, alpha] : op.sinks) {
@@ -279,6 +288,18 @@ void DistRippleEngine::replay_uops() {
       const Transport::Message& m = pop_msg(pv, pu);
       RIPPLE_CHECK(m.sender == op.u);
       const auto payload = transport_->inbox(pv).payload_of(m);
+      // Wire-input width validation: typed kCorrupt (frame damage, not a
+      // bug) BEFORE any subspan is taken from the payload.
+      std::size_t fill_width = 0;
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        fill_width += model_.config().embedding_dim(l);
+      }
+      if (payload.size() != fill_width) {
+        throw TransportError(TransportErrorKind::kCorrupt,
+                             "halo fill frame width mismatch: expected " +
+                                 std::to_string(fill_width) + " floats, got " +
+                                 std::to_string(payload.size()));
+      }
       st.halo.ensure(op.u);
       std::size_t off = 0;
       for (std::size_t l = 0; l < num_layers; ++l) {
@@ -327,6 +348,14 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
   result.num_parts = partition_.num_parts();
   const std::size_t wire_bytes_before = transport_->wire_bytes();
   const std::size_t wire_messages_before = transport_->wire_messages();
+  const std::size_t retries_before = transport_->retries();
+  const std::size_t timeouts_before = transport_->timeouts();
+  const std::size_t heartbeats_before = transport_->heartbeats();
+  const auto fill_robustness = [&](DistBatchResult& r) {
+    r.retries = transport_->retries() - retries_before;
+    r.timeouts = transport_->timeouts() - timeouts_before;
+    r.heartbeats = transport_->heartbeats() - heartbeats_before;
+  };
   const std::size_t num_parts = partition_.num_parts();
   const std::size_t num_layers = model_.num_layers();
   // Modeled timing bills the slowest simulated partition; a measuring
@@ -376,6 +405,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
     run_async_epoch(result);
     result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
     result.wire_messages = transport_->wire_messages() - wire_messages_before;
+    fill_robustness(result);
     if (stealer_ != nullptr) result.sched = stealer_->stats();
     return result;
   }
@@ -529,6 +559,24 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
       // out-edges — reproducing the exact single-machine accumulation
       // order per cell.
       const bool uses_self = model_.layer(l).uses_self();
+      // Wire-input validation, serial and BEFORE the pooled seed phase (an
+      // exception escaping a worker task would terminate the process): a
+      // width that disagrees with the hop's row shape means the frame was
+      // corrupted in flight, not a programming bug — typed kCorrupt so the
+      // layers above can recover from checkpoint.
+      for (std::size_t q = 0; q < num_parts; ++q) {
+        if (!hosts(q)) continue;
+        const Transport::Inbox& inbox = transport_->inbox(q);
+        for (const Transport::Message& m : inbox.messages) {
+          if (inbox.payload_of(m).size() != delta_dim) {
+            throw TransportError(
+                TransportErrorKind::kCorrupt,
+                "hop row frame width mismatch: expected " +
+                    std::to_string(delta_dim) + " floats, got " +
+                    std::to_string(inbox.payload_of(m).size()));
+          }
+        }
+      }
       const auto seed_part = [&](std::size_t q) {
         if (!hosts(q)) return;
         RankState& st = states_[q];
@@ -580,6 +628,7 @@ DistBatchResult DistRippleEngine::apply_batch(UpdateBatch batch) {
 
   result.wire_bytes = transport_->wire_bytes() - wire_bytes_before;
   result.wire_messages = transport_->wire_messages() - wire_messages_before;
+  fill_robustness(result);
   if (stealer_ != nullptr) result.sched = stealer_->stats();
   return result;
 }
@@ -681,7 +730,14 @@ void DistRippleEngine::process_remote_row(std::size_t q,
   // cached halo row holds u's previous committed H^l, so payload − cache is
   // u's Δh with exactly the bits the sender's local subtraction produced.
   auto cached = st.halo.row(u, l);
-  RIPPLE_CHECK(f.row.size() == cached.size());
+  // Wire-input validation, typed kCorrupt (a truncated frame, not a bug):
+  // the layers above recover by restoring from checkpoint.
+  if (f.row.size() != cached.size()) {
+    throw TransportError(TransportErrorKind::kCorrupt,
+                         "async row frame width mismatch: expected " +
+                             std::to_string(cached.size()) + " floats, got " +
+                             std::to_string(f.row.size()));
+  }
   std::vector<float> delta_row(cached.size());
   for (std::size_t j = 0; j < delta_row.size(); ++j) {
     delta_row[j] = f.row[j] - cached[j];
@@ -689,12 +745,19 @@ void DistRippleEngine::process_remote_row(std::size_t q,
   // Versioned write-through: stamps grow strictly in (batch, hop), so even
   // a reordered delivery could never let a stale row clobber a fresher one.
   // Under the protocol each (u, layer) arrives at most once per epoch, so a
-  // stale write here means the dependency accounting is broken — fail loud.
+  // stale or duplicate write means the wire delivered a frame the protocol
+  // never sent — typed kProtocol, recoverable by checkpoint restore.
   const bool fresh = st.halo.write_through(u, l, f.row, epoch_version(l));
-  RIPPLE_CHECK_MSG(fresh, "async row for layer " << l
-                                                 << " arrived version-stale");
+  if (!fresh) {
+    throw TransportError(TransportErrorKind::kProtocol,
+                         "async row arrived version-stale (duplicated or "
+                         "replayed frame)");
+  }
   const bool inserted = as.delta[l].emplace(u, std::move(delta_row)).second;
-  RIPPLE_CHECK_MSG(inserted, "duplicate async row in one epoch");
+  if (!inserted) {
+    throw TransportError(TransportErrorKind::kProtocol,
+                         "duplicate async row in one epoch");
+  }
   for (const Neighbor& nb : graph_.out_neighbors(u)) {
     if (owner(nb.vertex) == q) as.cells.credit(l + 1, nb.vertex);
   }
@@ -802,10 +865,14 @@ bool DistRippleEngine::rank_step(std::size_t q) {
   transport_->poll_async(q, frames_, timeout_ms);
   const StopWatch busy_watch;
   for (const Transport::AsyncFrame& f : frames_) {
-    progress = true;
     if (f.is_token) {
+      // Token traffic is NOT progress: a circulating token with an unmet
+      // deficit would otherwise reset the epoch driver's stall detector
+      // forever, turning a lost row into an infinite spin instead of the
+      // typed kTimeout it must surface as.
       det.receive_token(f.token);
     } else {
+      progress = true;
       det.on_receive();
       process_remote_row(q, f);
     }
@@ -845,10 +912,10 @@ bool DistRippleEngine::rank_step(std::size_t q) {
   as.busy_sec += busy_watch.elapsed_sec();
 
   // Termination: pass the token on (or, at rank 0, evaluate it) whenever
-  // the local worklists are drained.
+  // the local worklists are drained. Forwarding is control traffic, not
+  // progress, for the same stall-detector reason as token receipt above.
   if (auto token = det.try_forward(as.cells.idle())) {
     transport_->send_token(q, det.next_rank(), *token);
-    progress = true;
   }
   return progress;
 }
@@ -1143,6 +1210,189 @@ std::size_t DistRippleEngine::migrate(MigrationPlan plan) {
   // table, and the next batch routes against the new one.
   partition_.apply(plan);
   return plan.size();
+}
+
+double DistRippleEngine::write_checkpoint(const std::string& dir,
+                                          std::uint64_t stream_cursor) {
+  StopWatch watch;
+  const std::size_t num_layers = model_.num_layers();
+  const std::size_t width = ripple_checkpoint_row_width(model_.config());
+  CheckpointMeta base;
+  base.engine_key = "ripple";
+  base.stream_cursor = stream_cursor;
+  base.num_parts = static_cast<std::uint32_t>(partition_.num_parts());
+  base.partition_version = partition_.version();
+  base.num_vertices = graph_.num_vertices();
+  base.row_width = static_cast<std::uint32_t>(width);
+  base.part_of.resize(graph_.num_vertices());
+  for (VertexId v = 0; v < base.part_of.size(); ++v) {
+    base.part_of[v] = owner(v);
+  }
+  for (std::size_t p = 0; p < partition_.num_parts(); ++p) {
+    if (!hosts(p)) continue;
+    CheckpointData data;
+    data.meta = base;
+    data.meta.rank = static_cast<std::uint32_t>(p);
+    for (const VertexId v : row_map_.owned(p)) {
+      if (v != kInvalidVertex) data.vertices.push_back(v);
+    }
+    // Canonical ascending-id order: slot order depends on migration
+    // history, and the file must not (a restored replacement rank has no
+    // such history).
+    std::sort(data.vertices.begin(), data.vertices.end());
+    data.rows.reserve(data.vertices.size() * width);
+    const RankState& st = states_[p];
+    for (const VertexId v : data.vertices) {
+      const std::uint32_t r = local(v);
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        const auto row = st.store.layer(l).row(r);
+        data.rows.insert(data.rows.end(), row.begin(), row.end());
+      }
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        const auto row = st.agg_cache[l].row(r);
+        data.rows.insert(data.rows.end(), row.begin(), row.end());
+      }
+    }
+    write_checkpoint_file(dir, data);
+  }
+  return watch.elapsed_sec();
+}
+
+void DistRippleEngine::restore_checkpoint(const std::string& dir,
+                                          std::uint64_t stream_cursor) {
+  const std::size_t num_parts = partition_.num_parts();
+  const std::size_t num_layers = model_.num_layers();
+  const ModelConfig& config = model_.config();
+  const std::size_t width = ripple_checkpoint_row_width(config);
+  std::size_t halo_width = 0;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    halo_width += config.embedding_dim(l);
+  }
+
+  // ---- install owned rows from this endpoint's hosted files ----
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    const CheckpointData data =
+        read_checkpoint_file(checkpoint_path(dir, stream_cursor, p));
+    RIPPLE_CHECK_MSG(data.meta.engine_key == "ripple",
+                     "checkpoint engine key mismatch: expected ripple, file "
+                     "holds " << data.meta.engine_key);
+    RIPPLE_CHECK(data.meta.num_parts == num_parts);
+    RIPPLE_CHECK_MSG(data.meta.num_vertices == graph_.num_vertices(),
+                     "checkpoint vertex count disagrees with the topology "
+                     "this engine was rebuilt over");
+    RIPPLE_CHECK(data.meta.row_width == width);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      RIPPLE_CHECK_MSG(data.meta.part_of[v] == owner(v),
+                       "checkpoint partition assignment disagrees at vertex "
+                           << v);
+    }
+    std::size_t live = 0;
+    for (const VertexId v : row_map_.owned(p)) live += v != kInvalidVertex;
+    RIPPLE_CHECK_MSG(data.vertices.size() == live,
+                     "checkpoint owned-row count mismatch for partition "
+                         << p);
+    RankState& st = states_[p];
+    const float* row = data.rows.data();
+    for (const VertexId v : data.vertices) {
+      const std::uint32_t r = local(v);
+      std::size_t off = 0;
+      for (std::size_t l = 0; l <= num_layers; ++l) {
+        auto out = st.store.layer(l).row(r);
+        vec_copy(std::span<const float>(row + off, out.size()), out);
+        off += out.size();
+      }
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        auto out = st.agg_cache[l].row(r);
+        vec_copy(std::span<const float>(row + off, out.size()), out);
+        off += out.size();
+      }
+      RIPPLE_CHECK(off == width);
+      row += width;
+    }
+  }
+  // Halo version stamps resume monotone: the next batch's write_throughs
+  // stamp (cursor+1)*(L+1)+l, above anything a never-failed run committed
+  // through batch `cursor`.
+  batches_applied_ = stream_cursor;
+
+  // ---- one halo-refill superstep ----
+  // Halo MEMBERSHIP is already exact — the constructor derived it from the
+  // same topology + assignment a never-failed run would hold — but the
+  // cached VALUES are constructor bootstrap, not the checkpointed
+  // embeddings. Every owner ships H^0..H^{L-1} of its boundary vertices to
+  // the partitions caching them; both sides derive the identical schedule
+  // (destination ascending, vertex ascending — build_halo_index's order)
+  // from replicated state, the same canonical-order + FIFO-cursor pattern
+  // the migration superstep uses.
+  const HaloIndex halo = build_halo_index(graph_, partition_);
+  transport_->begin_superstep();
+  std::vector<float> frame;
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    for (const VertexId v : halo.halo_in[p]) {
+      const std::uint32_t src = owner(v);
+      if (!hosts(src)) continue;
+      const RankState& st = states_[src];
+      const std::uint32_t r = local(v);
+      frame.clear();
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        const auto row = st.store.layer(l).row(r);
+        frame.insert(frame.end(), row.begin(), row.end());
+      }
+      RIPPLE_CHECK(frame.size() == halo_width);
+      transport_->send_migrate(src, p, v, frame);
+    }
+  }
+  transport_->end_superstep();
+
+  std::vector<std::vector<std::vector<std::uint32_t>>> fifo(num_parts);
+  std::vector<std::vector<std::size_t>> next(num_parts);
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    fifo[p].resize(num_parts);
+    next[p].assign(num_parts, 0);
+    const Transport::Inbox& inbox = transport_->inbox(p);
+    for (std::size_t i = 0; i < inbox.messages.size(); ++i) {
+      fifo[p][inbox.messages[i].src_part].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    RankState& st = states_[p];
+    for (const VertexId v : halo.halo_in[p]) {
+      const std::size_t src = owner(v);
+      auto& queue = fifo[p][src];
+      std::size_t& cursor = next[p][src];
+      RIPPLE_CHECK_MSG(cursor < queue.size(),
+                       "restore underflow: partition "
+                           << p << " expected another halo row from " << src);
+      const Transport::Message& m =
+          transport_->inbox(p).messages[queue[cursor++]];
+      RIPPLE_CHECK(m.sender == v);
+      const auto payload = transport_->inbox(p).payload_of(m);
+      RIPPLE_CHECK(payload.size() == halo_width);
+      RIPPLE_CHECK_MSG(st.halo.contains(v),
+                       "restore halo fill for vertex " << v
+                           << " absent from the cache");
+      std::size_t off = 0;
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        auto row = st.halo.row(v, l);
+        vec_copy(payload.subspan(off, row.size()), row);
+        off += row.size();
+      }
+      RIPPLE_CHECK(off == payload.size());
+    }
+  }
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    if (!hosts(p)) continue;
+    for (std::size_t src = 0; src < num_parts; ++src) {
+      RIPPLE_CHECK_MSG(next[p][src] == fifo[p][src].size(),
+                       "restore leftovers: partition "
+                           << p << " holds unconsumed halo rows from "
+                           << src);
+    }
+  }
 }
 
 EmbeddingStore DistRippleEngine::gather_embeddings() {

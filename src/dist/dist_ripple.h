@@ -99,6 +99,17 @@ class DistRippleEngine : public DistEngineBase {
   // edges the move un-cuts), and bumps the replicated assignment. Mailboxes
   // must be empty — the between-batches invariant — and the call asserts it.
   std::size_t migrate(MigrationPlan plan) override;
+  // Per hosted partition: one checkpoint file of owned (H^0..H^L ∥ agg
+  // caches) rows — the migration state-frame layout (dist/checkpoint.h).
+  double write_checkpoint(const std::string& dir,
+                          std::uint64_t stream_cursor) override;
+  // Installs the checkpointed owned rows, then runs ONE halo-refill
+  // superstep — each owner ships H^0..H^{L-1} of its boundary vertices to
+  // the partitions whose halo holds them (the same canonical order and
+  // FIFO-cursor install the migration superstep uses) — and fast-forwards
+  // batches_applied_ to the cursor so halo version stamps resume monotone.
+  void restore_checkpoint(const std::string& dir,
+                          std::uint64_t stream_cursor) override;
   const Partition& partition() const override { return partition_; }
   const DynamicGraph& graph() const override { return graph_; }
   const GnnModel& model() const override { return model_; }

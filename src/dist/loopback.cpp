@@ -70,7 +70,7 @@ void child_report(int fd, std::uint8_t status,
 
 }  // namespace
 
-std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
+std::vector<RankOutcome> run_loopback_ranks_expecting_faults(
     std::size_t num_ranks,
     const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body) {
   RIPPLE_CHECK(num_ranks >= 1);
@@ -132,9 +132,9 @@ std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
 
   // Collect results, then reap. Reading before waiting avoids a pipe-full
   // deadlock when a child's blob exceeds the pipe buffer.
-  std::vector<std::vector<std::uint8_t>> results(num_ranks);
-  std::vector<std::string> errors(num_ranks);
+  std::vector<RankOutcome> outcomes(num_ranks);
   for (std::size_t r = 0; r < num_ranks; ++r) {
+    RankOutcome& out = outcomes[r];
     std::uint8_t status = 2;
     std::uint64_t size = 0;
     if (pipe_read(result_fds[r], &status, 1) &&
@@ -142,26 +142,47 @@ std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
       std::vector<std::uint8_t> blob(size);
       if (pipe_read(result_fds[r], blob.data(), size) || size == 0) {
         if (status == 0) {
-          results[r] = std::move(blob);
+          out.kind = RankOutcome::Kind::kOk;
+          out.blob = std::move(blob);
         } else {
-          errors[r].assign(blob.begin(), blob.end());
+          out.kind = RankOutcome::Kind::kError;
+          out.error.assign(blob.begin(), blob.end());
         }
       } else {
-        errors[r] = "truncated result pipe";
+        out.kind = RankOutcome::Kind::kError;
+        out.error = "truncated result pipe";
       }
     } else {
-      errors[r] = "rank died before reporting";
+      out.kind = RankOutcome::Kind::kDied;
+      out.error = "rank died before reporting";
     }
     ::close(result_fds[r]);
   }
-  std::string failure;
   for (std::size_t r = 0; r < num_ranks; ++r) {
     int wstatus = 0;
     ::waitpid(pids[r], &wstatus, 0);
     const bool clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
-    if (!clean || !errors[r].empty()) {
-      failure += "rank " + std::to_string(r) + ": " +
-                 (errors[r].empty() ? "abnormal exit" : errors[r]) + "\n";
+    if (!clean && outcomes[r].kind == RankOutcome::Kind::kOk) {
+      // Reported a blob but then exited abnormally — not a clean pass.
+      outcomes[r].kind = RankOutcome::Kind::kError;
+      outcomes[r].error = "abnormal exit after reporting";
+    }
+  }
+  return outcomes;
+}
+
+std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
+    std::size_t num_ranks,
+    const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body) {
+  std::vector<RankOutcome> outcomes =
+      run_loopback_ranks_expecting_faults(num_ranks, body);
+  std::string failure;
+  std::vector<std::vector<std::uint8_t>> results(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    if (outcomes[r].kind == RankOutcome::Kind::kOk) {
+      results[r] = std::move(outcomes[r].blob);
+    } else {
+      failure += "rank " + std::to_string(r) + ": " + outcomes[r].error + "\n";
     }
   }
   RIPPLE_CHECK_MSG(failure.empty(), "loopback ranks failed:\n" << failure);

@@ -29,4 +29,23 @@ std::vector<std::vector<std::uint8_t>> run_loopback_ranks(
     std::size_t num_ranks,
     const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body);
 
+// Outcome of one rank in a run where failures are EXPECTED (fault drills,
+// docs/fault_tolerance.md): a clean result blob, an exception the child
+// caught and reported, or an abnormal death (e.g. an injected SIGKILL —
+// the child never reached its report).
+struct RankOutcome {
+  enum class Kind : std::uint8_t { kOk, kError, kDied };
+  Kind kind = Kind::kDied;
+  std::vector<std::uint8_t> blob;  // kOk: body's result
+  std::string error;               // kError: the child's exception message
+};
+
+// Like run_loopback_ranks, but NEVER throws on a rank failure: each rank's
+// outcome is returned for the caller to assert on. This is the harness for
+// rank-kill tests — one rank dies by SIGKILL mid-run while the survivors
+// report (via their blobs) the typed TransportError they observed.
+std::vector<RankOutcome> run_loopback_ranks_expecting_faults(
+    std::size_t num_ranks,
+    const std::function<std::vector<std::uint8_t>(const TcpConfig&)>& body);
+
 }  // namespace ripple

@@ -10,9 +10,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "common/check.h"
@@ -51,13 +53,25 @@ void set_nonblocking(int fd) {
                    "fcntl(O_NONBLOCK): " << std::strerror(errno));
 }
 
+// Monotonic seconds for deadlines and heartbeat cadence.
+double mono_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Blocking exact-size read/write used only during mesh setup (handshakes).
+// A peer dying here is a recoverable mesh-formation failure, not a
+// programming error: typed kPeerLost.
 void read_exact(int fd, void* buf, std::size_t len) {
   auto* at = static_cast<std::uint8_t*>(buf);
   while (len > 0) {
     const ssize_t n = ::recv(fd, at, len, 0);
     if (n < 0 && errno == EINTR) continue;
-    RIPPLE_CHECK_MSG(n > 0, "peer hung up during handshake");
+    if (n <= 0) {
+      throw TransportError(TransportErrorKind::kPeerLost,
+                           "peer hung up during handshake");
+    }
     at += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -68,8 +82,11 @@ void write_exact(int fd, const void* buf, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, at, len, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
-    RIPPLE_CHECK_MSG(n > 0, "handshake write failed: "
-                                << std::strerror(errno));
+    if (n <= 0) {
+      throw TransportError(TransportErrorKind::kPeerLost,
+                           std::string("handshake write failed: ") +
+                               std::strerror(errno));
+    }
     at += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -99,7 +116,15 @@ int bind_listener(const std::string& endpoint) {
   return fd;
 }
 
-int connect_with_retry(const std::string& endpoint, double timeout_sec) {
+// Bounded redial with exponential backoff + deterministic jitter: the
+// peer's listener may simply not be up yet (ranks launched by hand in any
+// order), so failed dials back off 10ms·2^k capped at 500ms, each delay
+// jittered ±25% by a seeded xorshift so a simultaneously-restarted mesh
+// does not redial in lockstep. Every redial past the first dial counts
+// into `retries`; exhausting the budget raises kTimeout (the peer may
+// still come up — the caller can rebuild the mesh later).
+int connect_with_retry(const std::string& endpoint, double timeout_sec,
+                       std::uint64_t jitter_seed, std::size_t& retries) {
   const HostPort hp = split_endpoint(endpoint);
   addrinfo hints{};
   hints.ai_family = AF_INET;
@@ -109,8 +134,11 @@ int connect_with_retry(const std::string& endpoint, double timeout_sec) {
   RIPPLE_CHECK_MSG(rc == 0, "resolve '" << endpoint
                                         << "': " << ::gai_strerror(rc));
   const StopWatch watch;
+  std::uint64_t rng = jitter_seed ^ 0x9e3779b97f4a7c15ULL;
   int last_errno = 0;
-  while (watch.elapsed_sec() < timeout_sec) {
+  double backoff_ms = 10.0;
+  for (bool first = true;; first = false) {
+    if (!first) ++retries;
     const int fd =
         ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
     RIPPLE_CHECK_MSG(fd >= 0, "socket: " << std::strerror(errno));
@@ -120,15 +148,22 @@ int connect_with_retry(const std::string& endpoint, double timeout_sec) {
     }
     last_errno = errno;
     ::close(fd);
-    // The peer's listener may simply not be up yet (ranks launched by hand
-    // in any order): back off briefly and redial.
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (watch.elapsed_sec() >= timeout_sec) break;
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    // ±25% jitter: scale by 0.75 + rng_unit * 0.5.
+    const double unit = static_cast<double>(rng >> 11) * 0x1p-53;
+    const double delay_ms = backoff_ms * (0.75 + 0.5 * unit);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(delay_ms * 1e3)));
+    backoff_ms = std::min(backoff_ms * 2.0, 500.0);
   }
   ::freeaddrinfo(res);
-  RIPPLE_CHECK_MSG(false, "connect '" << endpoint << "' timed out after "
-                                      << timeout_sec << "s: "
-                                      << std::strerror(last_errno));
-  return -1;  // unreachable
+  std::ostringstream os;
+  os << "connect '" << endpoint << "' timed out after " << timeout_sec
+     << "s: " << std::strerror(last_errno);
+  throw TransportError(TransportErrorKind::kTimeout, os.str());
 }
 
 }  // namespace
@@ -146,6 +181,10 @@ TcpConfig TcpConfig::from_flags(const Flags& flags) {
   RIPPLE_CHECK_MSG(config.rank < config.peers.size(),
                    "--rank=" << config.rank << " out of range for "
                              << config.peers.size() << " peers");
+  config.peer_dead_sec = flags.get_double("peer-dead-sec",
+                                          config.peer_dead_sec);
+  config.heartbeat_interval_sec = flags.get_double(
+      "heartbeat-interval-sec", config.heartbeat_interval_sec);
   return config;
 }
 
@@ -153,7 +192,9 @@ TcpTransport::TcpTransport(std::size_t num_parts,
                            const TransportOptions& options,
                            const TcpConfig& config)
     : Transport(num_parts, options), rank_(config.rank),
-      barrier_timeout_sec_(config.barrier_timeout_sec) {
+      barrier_timeout_sec_(config.barrier_timeout_sec),
+      heartbeat_interval_sec_(config.heartbeat_interval_sec),
+      peer_dead_sec_(config.peer_dead_sec) {
   RIPPLE_CHECK_MSG(config.peers.size() == num_parts,
                    "tcp transport needs one peer endpoint per partition: got "
                        << config.peers.size() << " peers for " << num_parts
@@ -178,8 +219,11 @@ void TcpTransport::setup_mesh(const TcpConfig& config) {
   // rank (they are already listening), then accept every higher rank; a
   // 4-byte rank handshake tells the acceptor who arrived.
   for (std::size_t j = 0; j < rank_; ++j) {
-    const int fd = connect_with_retry(config.peers[j],
-                                      config.connect_timeout_sec);
+    std::size_t retries = 0;
+    const int fd = connect_with_retry(
+        config.peers[j], config.connect_timeout_sec,
+        static_cast<std::uint64_t>(rank_) * 131 + j, retries);
+    for (std::size_t k = 0; k < retries; ++k) count_retry();
     const auto my_rank = static_cast<std::uint32_t>(rank_);
     write_exact(fd, &my_rank, sizeof(my_rank));
     set_nodelay(fd);
@@ -196,9 +240,12 @@ void TcpTransport::setup_mesh(const TcpConfig& config) {
     const int ready = ::poll(
         &pfd, 1,
         static_cast<int>(config.connect_timeout_sec * 1e3));
-    RIPPLE_CHECK_MSG(ready > 0, "accept at rank "
-                                    << rank_ << " timed out waiting for "
-                                    << pending << " higher rank(s)");
+    if (ready <= 0) {
+      std::ostringstream os;
+      os << "accept at rank " << rank_ << " timed out waiting for "
+         << pending << " higher rank(s)";
+      throw TransportError(TransportErrorKind::kTimeout, os.str());
+    }
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     RIPPLE_CHECK_MSG(fd >= 0, "accept: " << std::strerror(errno));
     // Bound the handshake read the same way (a dialer could connect and
@@ -335,7 +382,10 @@ bool TcpTransport::flush_some(Peer& peer) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
-    RIPPLE_CHECK_MSG(false, "tcp send failed: " << std::strerror(errno));
+    // EPIPE/ECONNRESET: the peer's process is gone (its kernel closed the
+    // socket under us) — recoverable at the checkpoint layer, not a bug.
+    throw_peer_lost(static_cast<std::size_t>(&peer - peers_.data()),
+                    std::string("tcp send failed: ") + std::strerror(errno));
   }
   peer.sendbuf.clear();
   peer.sent = 0;
@@ -362,6 +412,10 @@ void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
       }
       break;
     }
+    case wire::FrameType::heartbeat:
+      // Liveness-only: receiving ANY bytes already refreshed last_rx_sec in
+      // drain_ready, so the frame carries no further state.
+      break;
     case wire::FrameType::opaque:
       // Accounting record: counted once at the sender (counters are
       // per-rank egress), so the receiver only drains it — the frame keeps
@@ -369,11 +423,15 @@ void TcpTransport::dispatch(std::size_t peer_rank, wire::Frame&& frame) {
       // replicated-topology walk reconstruct the content out-of-band.
       break;
     case wire::FrameType::barrier:
-      RIPPLE_CHECK_MSG(frame.superstep == peer.barriers_seen,
-                       "barrier for superstep " << frame.superstep
-                                                << " from rank " << peer_rank
-                                                << ", expected "
-                                                << peer.barriers_seen);
+      // A barrier out of sequence means the peer's protocol state machine
+      // and ours disagree — typed kProtocol, unrecoverable without a
+      // restart, but the caller (not an abort) decides what dies.
+      if (frame.superstep != peer.barriers_seen) {
+        std::ostringstream os;
+        os << "barrier for superstep " << frame.superstep << " from rank "
+           << peer_rank << ", expected " << peer.barriers_seen;
+        throw TransportError(TransportErrorKind::kProtocol, os.str());
+      }
       ++peer.barriers_seen;
       break;
     case wire::FrameType::row: {
@@ -411,6 +469,7 @@ void TcpTransport::drain_ready(Peer& peer) {
   for (;;) {
     const ssize_t n = ::recv(peer.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
+      peer.last_rx_sec = mono_sec();
       peer.decoder.feed(
           std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(n)));
       wire::Frame frame;
@@ -421,12 +480,18 @@ void TcpTransport::drain_ready(Peer& peer) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
     if (n == 0) {
       // A peer that finished its run exits and closes cleanly; that is
-      // only an error if it still owes us a barrier (checked at the poll
-      // loop, where the current superstep index is known).
+      // only an error if it still owes us progress — a barrier (checked at
+      // the poll loop, where the current superstep index is known) or any
+      // part of an active async epoch (termination needs every rank, so
+      // EOF mid-epoch is positively fatal).
       peer.eof = true;
+      if (epoch_active_) {
+        throw_peer_lost(peer_rank, "connection closed mid-epoch");
+      }
       return;
     }
-    RIPPLE_CHECK_MSG(false, "tcp recv failed: " << std::strerror(errno));
+    throw_peer_lost(peer_rank,
+                    std::string("tcp recv failed: ") + std::strerror(errno));
   }
 }
 
@@ -460,6 +525,7 @@ std::size_t TcpTransport::poll_once(int timeout_ms) {
 
 double TcpTransport::end_superstep() {
   const StopWatch watch;
+  const double wait_start = mono_sec();
   const std::uint64_t superstep = completed_;
   for (std::size_t p = 0; p < num_parts(); ++p) {
     if (p == rank_) continue;
@@ -479,9 +545,22 @@ double TcpTransport::end_superstep() {
         writes_pending = true;
       }
       if (peer.barriers_seen <= superstep) {
-        RIPPLE_CHECK_MSG(!peer.eof,
-                         "rank " << p << " closed its connection before its "
-                                 << "barrier for superstep " << superstep);
+        if (peer.eof) {
+          std::ostringstream os;
+          os << "rank " << p << " closed its connection before its barrier"
+             << " for superstep " << superstep;
+          throw_peer_lost(p, os.str());
+        }
+        // Positive-death deadline: owes the barrier AND silent since we
+        // started waiting.
+        if (peer_dead_sec_ > 0 &&
+            mono_sec() - std::max(peer.last_rx_sec, wait_start) >
+                peer_dead_sec_) {
+          std::ostringstream os;
+          os << "rank " << p << " silent for " << peer_dead_sec_
+             << "s while owing the barrier for superstep " << superstep;
+          throw_peer_lost(p, os.str());
+        }
         barrier_pending = true;
       }
     }
@@ -489,10 +568,14 @@ double TcpTransport::end_superstep() {
       writes_done_at = watch.elapsed_sec();
     }
     if (!writes_pending && !barrier_pending) break;
-    RIPPLE_CHECK_MSG(watch.elapsed_sec() < barrier_timeout_sec_,
-                     "tcp barrier for superstep " << superstep
-                                                  << " timed out at rank "
-                                                  << rank_);
+    if (watch.elapsed_sec() >= barrier_timeout_sec_) {
+      count_timeout();
+      std::ostringstream os;
+      os << "tcp barrier for superstep " << superstep << " timed out at rank "
+         << rank_ << " after " << barrier_timeout_sec_ << "s";
+      throw TransportError(TransportErrorKind::kTimeout, os.str());
+    }
+    maybe_heartbeat();
     poll_once(/*timeout_ms=*/100);
   }
   // Canonical delivery: ascending sending rank, per-rank arrival order.
@@ -517,11 +600,45 @@ double TcpTransport::superstep_wait_sec(std::size_t part) const {
   return part == rank_ ? last_barrier_wait_sec_ : 0.0;
 }
 
+void TcpTransport::maybe_heartbeat() {
+  if (heartbeat_interval_sec_ <= 0) return;
+  const double now = mono_sec();
+  if (now - last_heartbeat_sec_ < heartbeat_interval_sec_) return;
+  last_heartbeat_sec_ = now;
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    if (p == rank_) continue;
+    Peer& peer = peers_[p];
+    if (peer.eof || peer.fd < 0) continue;
+    // Liveness-only control traffic: never in the wire/token counters (the
+    // cadence is wall-clock-dependent, and counters must stay
+    // backend-conformant for a given protocol run).
+    wire::append_heartbeat_frame(peer.sendbuf,
+                                 static_cast<std::uint32_t>(rank_));
+    count_heartbeat();
+    flush_some(peer);
+  }
+}
+
+void TcpTransport::throw_peer_lost(std::size_t peer_rank,
+                                   const std::string& what) {
+  std::ostringstream os;
+  os << "rank " << rank_ << " lost peer " << peer_rank << ": " << what;
+  throw TransportError(TransportErrorKind::kPeerLost, os.str());
+}
+
 // ---- async epoch backend ----
 
 void TcpTransport::begin_epoch() {
-  // Nothing to reset: async_arrivals_ may legitimately hold early frames of
-  // THIS epoch (landed while the previous superstep's barrier drained).
+  // Nothing else to reset: async_arrivals_ may legitimately hold early
+  // frames of THIS epoch (landed while the previous superstep's barrier
+  // drained).
+  epoch_active_ = true;
+  // A peer that already closed cannot take part in this epoch at all.
+  for (std::size_t p = 0; p < num_parts(); ++p) {
+    if (p != rank_ && peers_[p].eof) {
+      throw_peer_lost(p, "connection already closed at epoch start");
+    }
+  }
 }
 
 void TcpTransport::send_row(std::size_t src, std::size_t dst, VertexId sender,
@@ -561,6 +678,9 @@ std::size_t TcpTransport::poll_async(std::size_t part,
                                      int timeout_ms) {
   RIPPLE_CHECK_MSG(part == rank_, "rank " << rank_ << " cannot poll for "
                                           << part << " (owner routing)");
+  // A blocking poll means the engine has nothing to do but wait — the idle
+  // window where peers watching a deadline need proof of life.
+  if (timeout_ms > 0) maybe_heartbeat();
   poll_once(timeout_ms);
   const std::size_t n = async_arrivals_.size();
   for (AsyncFrame& frame : async_arrivals_) out.push_back(std::move(frame));
@@ -569,6 +689,7 @@ std::size_t TcpTransport::poll_async(std::size_t part,
 }
 
 void TcpTransport::end_epoch() {
+  epoch_active_ = false;
   // Termination proved global quiescence, and the next epoch's frames
   // cannot arrive before our next superstep barrier — anything still queued
   // here is a protocol bug.

@@ -55,9 +55,26 @@ struct TcpConfig {
   // peers[rank] instead. The transport owns and closes the fd either way.
   int listen_fd = -1;
   double connect_timeout_sec = 15.0;  // retry window for peer dial-in
+  // Hard deadline on a superstep barrier; expiry raises
+  // TransportError{kTimeout} (the mesh may still be intact — e.g. one rank
+  // is catastrophically slow — so the caller decides whether to rebuild).
   double barrier_timeout_sec = 120.0;
+  // Idle-liveness protocol (docs/fault_tolerance.md): while a rank is
+  // parked waiting — at a barrier, or blocked in poll_async — it ships a
+  // heartbeat frame to every live peer each interval, proving "alive, just
+  // waiting" to peers that might themselves be watching a deadline.
+  double heartbeat_interval_sec = 0.2;
+  // Positive-death deadline: a peer that still owes this superstep's
+  // barrier AND has sent no bytes for this long (measured from when WE
+  // started waiting) is declared dead — TransportError{kPeerLost} — well
+  // before barrier_timeout_sec. Must exceed the longest compute phase any
+  // rank runs between transport calls (a busy rank neither polls nor
+  // heartbeats). <= 0 disables the fast path; the barrier timeout still
+  // bounds the wait.
+  double peer_dead_sec = 30.0;
 
-  // Parses --rank=R and --peers=host:port,host:port,... (R < len(peers)).
+  // Parses --rank=R and --peers=host:port,host:port,... (R < len(peers)),
+  // plus --peer-dead-sec and --heartbeat-interval-sec overrides.
   static TcpConfig from_flags(const Flags& flags);
 };
 
@@ -131,6 +148,7 @@ class TcpTransport final : public Transport {
                                       // superstep s belong to superstep s+1
     std::vector<wire::Frame> ahead;   // stash for the next superstep
     bool eof = false;  // peer closed; fatal only if it still owes a barrier
+    double last_rx_sec = 0;  // mono_sec() of the last received bytes
   };
 
   void setup_mesh(const TcpConfig& config);
@@ -141,9 +159,20 @@ class TcpTransport final : public Transport {
   // flush; if the kernel buffer is full, run poll_once(0) so inbound frames
   // drain while we wait for egress room.
   void maybe_flush(Peer& peer);
+  // Idle-wait liveness upkeep, called from the blocking poll paths: ships
+  // a heartbeat to every live peer when heartbeat_interval_sec has passed
+  // since the last one.
+  void maybe_heartbeat();
+  [[noreturn]] void throw_peer_lost(std::size_t peer_rank,
+                                    const std::string& what);
 
   std::size_t rank_ = 0;
   double barrier_timeout_sec_ = 120.0;
+  double heartbeat_interval_sec_ = 0.2;
+  double peer_dead_sec_ = 30.0;
+  double last_heartbeat_sec_ = 0.0;  // mono_sec() of the last batch sent
+  bool epoch_active_ = false;  // between begin_epoch and end_epoch: a peer
+                               // EOF is immediately fatal (kPeerLost)
   std::vector<Peer> peers_;  // index == rank; peers_[rank_].fd == -1
   std::uint64_t completed_ = 0;  // end_superstep() calls so far == index of
                                  // the superstep currently in flight

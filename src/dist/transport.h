@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dist/termination.h"
+#include "dist/transport_error.h"
 #include "graph/types.h"
 
 namespace ripple {
@@ -218,16 +219,36 @@ class Transport {
   // barrier arriving; part must be the local rank there).
   virtual double superstep_wait_sec(std::size_t part) const;
 
-  const Inbox& inbox(std::size_t part) const { return inboxes_[part]; }
+  // Virtual so a decorator (dist/fault_inject.h) can expose its inner
+  // backend's inboxes without owning any of its own.
+  virtual const Inbox& inbox(std::size_t part) const {
+    return inboxes_[part];
+  }
 
   // Cumulative totals across all supersteps. Every backend counts every
   // send/send_opaque it observes with the same header_bytes envelope, so
   // the counters are backend-independent for a given protocol run.
-  std::size_t wire_bytes() const { return wire_bytes_; }
-  std::size_t wire_messages() const { return wire_messages_; }
+  // Virtual for the same decorator-delegation reason as inbox().
+  virtual std::size_t wire_bytes() const { return wire_bytes_; }
+  virtual std::size_t wire_messages() const { return wire_messages_; }
   // Cumulative termination-token frames sent by this endpoint (control
   // traffic, reported separately from row traffic).
-  std::size_t token_messages() const { return token_messages_; }
+  virtual std::size_t token_messages() const { return token_messages_; }
+
+  // ---- robustness counters (docs/fault_tolerance.md) ----
+  // Cumulative totals since construction; engines report per-batch DELTAS
+  // in DistBatchResult. Zero on backends where the concept does not apply
+  // (SimTransport neither reconnects nor heartbeats).
+  // Reconnect attempts beyond the first dial per peer (TcpTransport mesh
+  // setup, exponential backoff + jitter).
+  virtual std::size_t retries() const { return retries_; }
+  // Deadline expiries that were survivable without declaring the mesh dead
+  // (e.g. a bounded poll returning empty during connect backoff). A fatal
+  // deadline raises TransportError{kTimeout} instead of counting here.
+  virtual std::size_t timeouts() const { return timeouts_; }
+  // Idle heartbeat frames sent to prove liveness while waiting at a
+  // barrier (TcpTransport only; discarded by the receiver on arrival).
+  virtual std::size_t heartbeats() const { return heartbeats_; }
 
   // Payload bytes of one num_floats-wide embedding row at the configured
   // wire precision (4 B/value at f32, 2 at bf16). Engines size BOTH their
@@ -255,6 +276,9 @@ class Transport {
     wire_messages_ += num_messages;
   }
   void count_token() { ++token_messages_; }
+  void count_retry() { ++retries_; }
+  void count_timeout() { ++timeouts_; }
+  void count_heartbeat() { ++heartbeats_; }
 
   TransportOptions options_;
   std::size_t num_parts_ = 0;
@@ -264,6 +288,9 @@ class Transport {
   std::size_t wire_bytes_ = 0;
   std::size_t wire_messages_ = 0;
   std::size_t token_messages_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t heartbeats_ = 0;
   std::vector<float> wire_round_scratch_;
 };
 

@@ -3,11 +3,18 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "dist/transport_error.h"
 #include "tensor/precision.h"
 
 namespace ripple::wire {
 
 namespace {
+
+// Decode-side validation failure: typed kCorrupt, never a CHECK abort —
+// wire bytes are untrusted input, not a programming invariant.
+[[noreturn]] void corrupt(const std::string& what) {
+  throw TransportError(TransportErrorKind::kCorrupt, what);
+}
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T value) {
@@ -103,6 +110,12 @@ void append_row_frame(std::vector<std::uint8_t>& out, VertexId sender,
   out.insert(out.end(), bytes, bytes + row.size() * sizeof(float));
 }
 
+void append_heartbeat_frame(std::vector<std::uint8_t>& out,
+                            std::uint32_t src_part) {
+  put_frame_header(out, FrameType::heartbeat, sizeof(std::uint32_t));
+  put<std::uint32_t>(out, src_part);
+}
+
 void append_migrate_frame(std::vector<std::uint8_t>& out, VertexId sender,
                           std::uint32_t src_part, std::span<const float> row) {
   put_frame_header(out, FrameType::migrate_row,
@@ -133,13 +146,18 @@ bool FrameDecoder::next(Frame& out) {
   if (avail < sizeof(std::uint32_t)) return false;
   std::size_t at = cursor_;
   const auto frame_len = get<std::uint32_t>(buf_.data(), at);
-  RIPPLE_CHECK_MSG(frame_len >= 1, "wire frame with empty body");
+  if (frame_len < 1) corrupt("wire frame with empty body");
+  if (frame_len > kMaxFrameBytes) {
+    corrupt("wire frame length " + std::to_string(frame_len) +
+            " exceeds kMaxFrameBytes");
+  }
   if (avail < sizeof(std::uint32_t) + frame_len) return false;
   const std::size_t frame_end = at + frame_len;
   const auto type = static_cast<FrameType>(get<std::uint8_t>(buf_.data(), at));
   const auto need = [&](std::size_t bytes) {
-    RIPPLE_CHECK_MSG(at + bytes <= frame_end,
-                     "wire frame body shorter than its type requires");
+    if (at + bytes > frame_end) {
+      corrupt("wire frame body shorter than its type requires");
+    }
   };
   out = Frame{};
   out.type = type;
@@ -210,11 +228,16 @@ bool FrameDecoder::next(Frame& out) {
       at += num_floats * sizeof(float);
       break;
     }
+    case FrameType::heartbeat: {
+      need(sizeof(std::uint32_t));
+      out.src_part = get<std::uint32_t>(buf_.data(), at);
+      break;
+    }
     default:
-      RIPPLE_CHECK_MSG(false, "unknown wire frame type "
-                                  << static_cast<int>(type));
+      corrupt("unknown wire frame type " +
+              std::to_string(static_cast<int>(type)));
   }
-  RIPPLE_CHECK_MSG(at == frame_end, "wire frame body longer than its type");
+  if (at != frame_end) corrupt("wire frame body longer than its type");
   cursor_ = frame_end;
   return true;
 }

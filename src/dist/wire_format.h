@@ -71,7 +71,17 @@ enum class FrameType : std::uint8_t {
   token = 5,
   row = 6,
   migrate_row = 7,
+  heartbeat = 8,
 };
+
+// Upper bound on a frame's wire-declared body length. The largest honest
+// frame is a migration state row (a few KB at realistic embedding widths),
+// so 16 MiB is orders of magnitude of headroom — while a corrupt or
+// malicious u32 length can claim up to 4 GiB, which the decoder would
+// otherwise buffer for before ever validating the body. Lengths above the
+// bound raise TransportError{kCorrupt} as soon as the header is visible
+// (docs/fault_tolerance.md).
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
 
 struct Frame {
   FrameType type = FrameType::payload;
@@ -118,6 +128,12 @@ void append_row_frame(std::vector<std::uint8_t>& out, VertexId sender,
 // Migration state frame: payload layout, always f32 (never wire-rounded).
 void append_migrate_frame(std::vector<std::uint8_t>& out, VertexId sender,
                           std::uint32_t src_part, std::span<const float> row);
+// Liveness heartbeat — u32 src_part only. Sent by TcpTransport while idle
+// at a barrier so peers can distinguish "slow" from "dead"; the receiver
+// refreshes its peer-liveness clock on ANY bytes, so the frame itself is
+// discarded on dispatch. Never counted in wire/token counters.
+void append_heartbeat_frame(std::vector<std::uint8_t>& out,
+                            std::uint32_t src_part);
 
 // Incremental decoder over a stream of frame bytes.
 class FrameDecoder {
@@ -126,7 +142,10 @@ class FrameDecoder {
   void feed(std::span<const std::uint8_t> bytes);
 
   // Pops the next complete frame into `out`; false if none is buffered.
-  // Throws check_error on a malformed frame (unknown type, short body).
+  // Throws TransportError{kCorrupt} on a malformed frame (length out of
+  // [1, kMaxFrameBytes], unknown type, body too short or too long for its
+  // type) — the length bound is enforced the moment the header is visible,
+  // so feed() never buffers toward an unbounded wire-declared length.
   bool next(Frame& out);
 
  private:

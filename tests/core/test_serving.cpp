@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "dist/transport_error.h"
 
 namespace ripple {
 namespace {
@@ -296,6 +297,81 @@ TEST(StreamingServer, WorksWithRecomputeEngineToo) {
   StreamingServer server(make_engine("rc", model, graph, features), options);
   server.submit(GraphUpdate::edge_add(0, 10));
   EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 11)), 2u);
+}
+
+// ---- degradation (docs/fault_tolerance.md §4) ----
+// One failed engine apply must not kill the server: it degrades, rejects
+// further updates, and sheds lookups onto the last COMMITTED snapshot.
+
+// Decorator over a real engine that throws a typed transport failure on its
+// Nth apply — the shape of a distributed engine losing a peer mid-batch.
+class FailingEngine : public InferenceEngine {
+ public:
+  FailingEngine(std::unique_ptr<InferenceEngine> inner,
+                std::size_t fail_on_apply)
+      : inner_(std::move(inner)), fail_on_apply_(fail_on_apply) {}
+  const char* name() const override { return inner_->name(); }
+  BatchResult apply_batch(UpdateBatch batch) override {
+    if (++applies_ == fail_on_apply_) {
+      throw TransportError(TransportErrorKind::kPeerLost,
+                           "injected: rank 1 died mid-batch");
+    }
+    return inner_->apply_batch(batch);
+  }
+  const EmbeddingStore& embeddings() const override {
+    return inner_->embeddings();
+  }
+  const DynamicGraph& graph() const override { return inner_->graph(); }
+  const GnnModel& model() const override { return inner_->model(); }
+  std::size_t memory_bytes() const override { return inner_->memory_bytes(); }
+
+ private:
+  std::unique_ptr<InferenceEngine> inner_;
+  std::size_t fail_on_apply_;
+  std::size_t applies_ = 0;
+};
+
+TEST(StreamingServer, DegradesOnEngineFailureAndShedsToCommittedLabels) {
+  auto graph = testing::random_graph(40, 250, 91);
+  const auto features = testing::random_features(40, 6, 92);
+  const auto config = workload_config(Workload::gc_s, 6, 3, 2, 8);
+  const auto model = GnnModel::random(config, 93);
+  StreamingServer::Options options;
+  options.batch_size = 2;
+  StreamingServer server(
+      std::make_unique<FailingEngine>(
+          make_engine("ripple", model, graph, features), /*fail_on_apply=*/2),
+      options);
+
+  // Batch 1 applies cleanly; its labels are the last committed snapshot.
+  server.submit(GraphUpdate::edge_add(0, 5));
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(1, 6)), 2u);
+  EXPECT_EQ(server.status(), ServeStatus::kOk);
+  EXPECT_TRUE(server.fault().empty());
+  std::vector<std::uint32_t> committed(40);
+  for (VertexId v = 0; v < 40; ++v) committed[v] = server.label(v);
+
+  // Batch 2's apply throws: the server degrades instead of dying, records
+  // the failure, and counts the poisoned batch as rejected.
+  server.submit(GraphUpdate::edge_add(2, 7));
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(3, 8)), 0u);
+  EXPECT_EQ(server.status(), ServeStatus::kDegraded);
+  EXPECT_NE(server.fault().find("peer_lost"), std::string::npos);
+  EXPECT_EQ(server.stats().updates_rejected, 2u);
+  EXPECT_EQ(server.stats().batches_processed, 1u);
+  EXPECT_EQ(server.stats().updates_processed, 2u);
+
+  // Degraded: further submits are rejected without buffering...
+  EXPECT_EQ(server.submit(GraphUpdate::edge_add(4, 9)), 0u);
+  EXPECT_EQ(server.stats().updates_rejected, 3u);
+  EXPECT_EQ(server.flush(), 0u);
+  EXPECT_EQ(server.poll(), 0u);
+  EXPECT_EQ(server.stats().batches_processed, 1u);
+
+  // ...and lookups shed onto the batch-1 snapshot, bit-for-bit.
+  for (VertexId v = 0; v < 40; ++v) {
+    EXPECT_EQ(server.label(v), committed[v]) << v;
+  }
 }
 
 }  // namespace
